@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Fig. 11 + Section 5.8.3: prediction accuracy under heterogeneity.
+ *
+ * (a) Heterogeneous cluster sizes (4/6/8 DCs, 1 VM each): count of
+ *     significant (> 100 Mbps) differences from the actual runtime
+ *     BWs, for static-independent vs WANify-predicted matrices. The
+ *     paper's shape: predicted beats static at every size.
+ * (b) Heterogeneous VM counts: 1-5 extra VMs in 3 fixed DCs
+ *     (association, Section 3.3.3) — same comparison.
+ * (c) Section 5.8.3's scheduling consequence: Tetrium with predicted
+ *     single-connection BWs (Tetrium-r) and full WANify vs vanilla
+ *     Tetrium on query 78 with an extra VM in US East.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "core/heterogeneity.hh"
+#include "workloads/tpcds.hh"
+
+using namespace wanify;
+using namespace wanify::bench;
+using namespace wanify::experiments;
+
+namespace {
+
+/** Significant-difference counts on one topology across trials. */
+std::pair<double, double>
+accuracyCounts(const net::Topology &topo,
+               const net::NetworkSimConfig &simCfg,
+               const core::RuntimeBwPredictor &predictor,
+               std::uint64_t baseSeed, int trials)
+{
+    const monitor::MeasurementConfig mc;
+    double staticCount = 0.0, predictedCount = 0.0;
+    for (int t = 0; t < trials; ++t) {
+        const std::uint64_t seed = baseSeed + 977 * t;
+        const auto independent =
+            monitor::staticIndependentBw(topo, simCfg, mc, seed);
+
+        net::NetworkSim sim(topo, simCfg, seed ^ 0xace);
+        sim.advanceBy(15.0);
+        monitor::MeshMeasurer measurer(sim);
+        Rng rng(seed ^ 0xbee);
+        const auto snapshot = measurer.snapshot(mc, rng);
+        const auto predicted =
+            predictor.predictMatrix(topo, snapshot);
+        const auto runtime = measurer.measureSimultaneous(
+            mc.stableDuration, mc.connections);
+
+        staticCount += static_cast<double>(
+            core::countSignificantGaps(independent, runtime));
+        predictedCount += static_cast<double>(
+            core::countSignificantGaps(predicted, runtime));
+    }
+    return {staticCount / trials, predictedCount / trials};
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto simCfg = defaultSimConfig();
+    const auto predictor = sharedPredictor();
+    const int trials = 5;
+
+    // ---- (a) heterogeneous cluster sizes --------------------------------
+    Table sizeTable("Fig 11(a): significant differences vs runtime "
+                    "BWs, by cluster size [paper: predicted < "
+                    "static everywhere]");
+    sizeTable.setHeader({"DCs", "Pairs", "Static-independent",
+                         "WANify-predicted"});
+    for (std::size_t n : {4UL, 6UL, 8UL}) {
+        const auto topo = monitoringCluster(n);
+        const auto [stat, pred] = accuracyCounts(
+            topo, simCfg, *predictor, 555000 + n, trials);
+        sizeTable.addRow({std::to_string(n),
+                          std::to_string(n * (n - 1)),
+                          Table::num(stat, 1), Table::num(pred, 1)});
+    }
+    sizeTable.print();
+    std::printf("\n");
+
+    // ---- (b) heterogeneous VM counts -------------------------------------
+    Table vmTable("Fig 11(b): significant differences with extra VMs "
+                  "in 3 DCs (association) [paper: predicted < "
+                  "static]");
+    vmTable.setHeader({"Extra VMs", "Static-independent",
+                       "WANify-predicted"});
+    for (std::size_t extra : {1UL, 3UL, 5UL}) {
+        net::TopologyBuilder builder;
+        const auto regions = net::RegionCatalog::paperSubset(8);
+        for (const auto &r : regions)
+            builder.addDc(r, net::VmTypeCatalog::t3nano(), 1);
+        // Extra VMs in 3 fixed DCs (US East, AP South, EU West).
+        for (std::size_t k = 0; k < extra; ++k) {
+            builder.addVm(0, net::VmTypeCatalog::t3nano());
+            builder.addVm(2, net::VmTypeCatalog::t3nano());
+            builder.addVm(6, net::VmTypeCatalog::t3nano());
+        }
+        const auto topo = builder.build();
+        const auto [stat, pred] = accuracyCounts(
+            topo, simCfg, *predictor, 777000 + extra, trials);
+        vmTable.addRow({std::to_string(extra), Table::num(stat, 1),
+                        Table::num(pred, 1)});
+    }
+    vmTable.print();
+    std::printf("\n");
+
+    // ---- (c) Section 5.8.3: heterogeneous compute in GDA ------------------
+    net::TopologyBuilder builder;
+    for (const auto &r : net::RegionCatalog::paperSubset(8))
+        builder.addDc(r, net::VmTypeCatalog::t2medium(), 1);
+    builder.addVm(0, net::VmTypeCatalog::t2medium()); // extra in US East
+    const auto topo = builder.build();
+
+    const monitor::MeasurementConfig mc;
+    const auto staticBw =
+        monitor::staticIndependentBw(topo, simCfg, mc, 4321);
+    net::NetworkSim sim(topo, simCfg, 9876);
+    sim.advanceBy(10.0);
+    monitor::MeshMeasurer measurer(sim);
+    Rng rng(24);
+    const auto predicted =
+        predictor->predictMatrix(topo, measurer.snapshot(mc, rng));
+
+    const auto job =
+        workloads::tpcDsQuery(workloads::TpcDsQuery::Q78, 100.0);
+    storage::HdfsStore hdfs(topo);
+    hdfs.loadSkewed(job.inputBytes,
+                    experiments::naturalInputFractions(
+                        topo.dcCount()));
+    const auto input = hdfs.distribution();
+    sched::TetriumScheduler tetrium;
+
+    auto wanify = makeWanify();
+    auto sweep = [&](const Matrix<Mbps> &bw, core::Wanify *w) {
+        return runTrials(
+            [&](std::uint64_t seed) {
+                gda::Engine engine(topo, simCfg, seed);
+                gda::RunOptions opts;
+                opts.schedulerBw = bw;
+                opts.wanify = w;
+                return engine.run(job, input, tetrium, opts);
+            },
+            5);
+    };
+    const auto vanilla = sweep(staticBw, nullptr);
+    const auto tetriumR = sweep(predicted, nullptr);
+    const auto full = sweep(predicted, wanify.get());
+
+    Table hetero("Sec 5.8.3: heterogeneous compute (extra VM in US "
+                 "East), query 78 [paper: Tetrium-r -5% latency, "
+                 "full WANify -15%, 2x min BW]");
+    hetero.setHeader(
+        {"Variant", "Latency (s)", "Cost ($)", "Min BW (Mbps)"});
+    hetero.addRow(aggRow("vanilla Tetrium", vanilla));
+    hetero.addRow(aggRow("Tetrium-r (predicted)", tetriumR));
+    hetero.addRow(aggRow("WANify-Tetrium", full));
+    hetero.print();
+    return 0;
+}

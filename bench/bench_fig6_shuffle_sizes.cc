@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fig. 6: Efficacy against various shuffle (intermediate data) sizes.
+ *
+ * WordCount with all-distinct-word inputs controlling the per-pair
+ * intermediate volume. The paper's x-axis values (2.06, 3.63, 7.4 MB
+ * and beyond) are per-DC-pair map-output sizes; below ~7.4 MB WANify
+ * and vanilla coincide (the WAN barely matters and the <1 MB AIMD
+ * skip keeps agents quiet), above it WANify's heterogeneous
+ * connections win latency, cost, and minimum BW (120-172 Mbps in the
+ * paper).
+ */
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "workloads/wordcount.hh"
+
+using namespace wanify;
+using namespace wanify::bench;
+using namespace wanify::experiments;
+
+int
+main()
+{
+    auto &ctx = BenchContext::get();
+    const std::size_t n = ctx.topo.dcCount();
+    sched::LocalityScheduler locality;
+
+    // Per-pair intermediate sizes (MB), extending the paper's axis.
+    const double perPairMb[] = {2.06, 3.63, 7.4, 15.0, 30.0, 60.0};
+    const double pairs = static_cast<double>(n * n);
+
+    Table table("Fig 6: WordCount vs shuffle size (paper: WANify ~= "
+                "vanilla below ~7.4 MB, wins beyond)");
+    table.setHeader({"Per-pair MB", "Vanilla lat (s)",
+                     "WANify lat (s)", "Vanilla $", "WANify $",
+                     "Vanilla minBW", "WANify minBW"});
+
+    auto wanify = makeWanify();
+    for (double mb : perPairMb) {
+        const double totalIntermediateMb = mb * pairs;
+        const auto job = workloads::wordCount(600.0,
+                                              totalIntermediateMb);
+        storage::HdfsStore hdfs(ctx.topo);
+        hdfs.loadUniform(job.inputBytes);
+        const auto input = hdfs.distribution();
+
+        auto sweep = [&](core::Wanify *w) {
+            return runTrials(
+                [&](std::uint64_t seed) {
+                    gda::Engine engine(ctx.topo, ctx.simCfg, seed);
+                    gda::RunOptions opts;
+                    opts.schedulerBw = ctx.staticIndependent;
+                    opts.wanify = w;
+                    if (w == nullptr) {
+                        opts.staticConnections = Matrix<int>::square(
+                            ctx.topo.dcCount(), 1);
+                    }
+                    return engine.run(job, input, locality, opts);
+                },
+                5);
+        };
+        const auto vanilla = sweep(nullptr);
+        const auto withWanify = sweep(wanify.get());
+        table.addRow({Table::num(mb, 2),
+                      Table::num(vanilla.meanLatency, 1),
+                      Table::num(withWanify.meanLatency, 1),
+                      Table::num(vanilla.meanCost, 3),
+                      Table::num(withWanify.meanCost, 3),
+                      Table::num(vanilla.meanMinBw, 0),
+                      Table::num(withWanify.meanMinBw, 0)});
+    }
+    table.print();
+    return 0;
+}

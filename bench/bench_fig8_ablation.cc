@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Fig. 8: Validation of WANify's design on TPC-DS query 78.
+ *
+ * (a) Ablation: Vanilla / Global-only / Local-only / full WANify on
+ *     Tetrium and Kimchi. Paper shape: Global-only ~16% better than
+ *     Vanilla, Local-only ~11% (worse than Global-only — it cannot
+ *     see DC closeness), full WANify best at ~23%.
+ * (b) Prediction-error injection: +-100 Mbps random error on the
+ *     predicted matrix (WANify-err). Paper: ~18% worse latency, ~5%
+ *     worse cost, ~38% lower minimum BW than error-free WANify.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "workloads/tpcds.hh"
+
+using namespace wanify;
+using namespace wanify::bench;
+using namespace wanify::experiments;
+
+int
+main()
+{
+    auto &ctx = BenchContext::get();
+    const auto predicted = predictedBwMatrix(ctx);
+    const auto job =
+        workloads::tpcDsQuery(workloads::TpcDsQuery::Q78, 100.0);
+    storage::HdfsStore hdfs(ctx.topo);
+    hdfs.loadSkewed(job.inputBytes,
+                    experiments::naturalInputFractions(
+                        ctx.topo.dcCount()));
+    const auto input = hdfs.distribution();
+
+    sched::TetriumScheduler tetrium;
+    sched::KimchiScheduler kimchi;
+    gda::Scheduler *schedulers[] = {&tetrium, &kimchi};
+    const char *schedNames[] = {"Tetrium", "Kimchi"};
+
+    auto sweep = [&](gda::Scheduler &sched, const Matrix<Mbps> &bw,
+                     core::Wanify *w,
+                     const std::optional<Matrix<Mbps>> &override =
+                         std::nullopt) {
+        return runTrials(
+            [&](std::uint64_t seed) {
+                gda::Engine engine(ctx.topo, ctx.simCfg, seed);
+                gda::RunOptions opts;
+                opts.schedulerBw = bw;
+                opts.wanify = w;
+                opts.predictedBwOverride = override;
+                return engine.run(job, input, sched, opts);
+            },
+            5);
+    };
+
+    // ---- (a) ablation ----------------------------------------------------
+    Table ablation("Fig 8(a): ablation on query 78 "
+                   "[paper: global ~16%, local ~11%, full ~23%]");
+    ablation.setHeader({"Variant", "System", "Latency (s)",
+                        "Gain vs vanilla %", "Min BW (Mbps)"});
+
+    auto globalOnly = makeWanify(core::WanifyFeatures::globalOnly());
+    auto localOnly = makeWanify(core::WanifyFeatures::localOnly());
+    auto full = makeWanify();
+
+    for (int s = 0; s < 2; ++s) {
+        const auto vanilla =
+            sweep(*schedulers[s], ctx.staticIndependent, nullptr);
+        struct Variant
+        {
+            const char *name;
+            core::Wanify *wanify;
+        } variants[] = {{"Vanilla", nullptr},
+                        {"Global only", globalOnly.get()},
+                        {"Local only", localOnly.get()},
+                        {"WANify", full.get()}};
+        for (const auto &v : variants) {
+            const auto result =
+                v.wanify == nullptr
+                    ? vanilla
+                    : sweep(*schedulers[s], predicted, v.wanify);
+            const double gain =
+                (vanilla.meanLatency - result.meanLatency) /
+                vanilla.meanLatency * 100.0;
+            ablation.addRow({v.name, schedNames[s],
+                             Table::num(result.meanLatency, 0),
+                             Table::num(gain, 1),
+                             Table::num(result.meanMinBw, 0)});
+        }
+    }
+    ablation.print();
+    std::printf("\n");
+
+    // ---- (b) prediction-error injection ----------------------------------
+    // Randomly add/subtract a significant BW value (100 Mbps) to the
+    // predicted matrix, exactly the WANify-err setup.
+    Matrix<Mbps> erred = predicted;
+    Rng rng(424242);
+    for (std::size_t i = 0; i < erred.rows(); ++i) {
+        for (std::size_t j = 0; j < erred.cols(); ++j) {
+            if (i == j)
+                continue;
+            const double sign = rng.bernoulli(0.5) ? 1.0 : -1.0;
+            erred.at(i, j) =
+                std::max(10.0, erred.at(i, j) + sign * 100.0);
+        }
+    }
+
+    const auto clean = sweep(tetrium, predicted, full.get());
+    const auto withErr =
+        sweep(tetrium, erred, full.get(), erred);
+
+    Table errTable("Fig 8(b): impact of prediction error (Tetrium, "
+                   "query 78) [paper: +18% latency, +5% cost, "
+                   "-38% min BW]");
+    errTable.setHeader(
+        {"Variant", "Latency (s)", "Cost ($)", "Min BW (Mbps)"});
+    errTable.addRow(aggRow("WANify", clean));
+    errTable.addRow(aggRow("WANify-err", withErr));
+    errTable.print();
+    std::printf("latency +%.1f%%, cost +%.1f%%, min BW %.1f%%\n",
+                (withErr.meanLatency - clean.meanLatency) /
+                    clean.meanLatency * 100.0,
+                (withErr.meanCost - clean.meanCost) /
+                    clean.meanCost * 100.0,
+                (withErr.meanMinBw - clean.meanMinBw) /
+                    clean.meanMinBw * 100.0);
+    return 0;
+}

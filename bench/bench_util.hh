@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Shared plumbing for the bench binaries: standard testbed + trained
+ * predictor + the experiment variants (BW source fed to the scheduler,
+ * WANify deployment flavor) used across Table 4 and Figs. 5-10.
+ */
+
+#ifndef WANIFY_BENCH_BENCH_UTIL_HH
+#define WANIFY_BENCH_BENCH_UTIL_HH
+
+#include <memory>
+#include <string>
+
+#include "common/table.hh"
+#include "core/wanify.hh"
+#include "experiments/predictor_factory.hh"
+#include "experiments/runner.hh"
+#include "experiments/testbed.hh"
+#include "gda/engine.hh"
+#include "monitor/measurement.hh"
+#include "sched/kimchi.hh"
+#include "sched/locality.hh"
+#include "sched/tetrium.hh"
+#include "storage/hdfs.hh"
+
+namespace wanify {
+namespace bench {
+
+/** Lazily computed per-process context shared by a bench binary. */
+struct BenchContext
+{
+    net::Topology topo;
+    net::NetworkSimConfig simCfg;
+    std::shared_ptr<const core::RuntimeBwPredictor> predictor;
+    Matrix<Mbps> staticIndependent;
+    Matrix<Mbps> staticSimultaneous;
+
+    static BenchContext &
+    get(std::size_t dcs = 8)
+    {
+        static BenchContext ctx = make(8);
+        (void)dcs;
+        return ctx;
+    }
+
+    static BenchContext
+    make(std::size_t dcs)
+    {
+        BenchContext ctx{experiments::workerCluster(dcs),
+                         experiments::defaultSimConfig(),
+                         experiments::sharedPredictor(),
+                         {},
+                         {}};
+        const monitor::MeasurementConfig mc;
+        ctx.staticIndependent = monitor::staticIndependentBw(
+            ctx.topo, ctx.simCfg, mc, 7777);
+        ctx.staticSimultaneous = monitor::staticSimultaneousBw(
+            ctx.topo, ctx.simCfg, mc, 7777);
+        return ctx;
+    }
+};
+
+/** A Wanify instance wired to the shared predictor. */
+inline std::unique_ptr<core::Wanify>
+makeWanify(core::WanifyFeatures features = core::WanifyFeatures::all())
+{
+    core::WanifyConfig cfg;
+    cfg.features = features;
+    auto w = std::make_unique<core::Wanify>(cfg);
+    w->setPredictor(experiments::sharedPredictor());
+    return w;
+}
+
+/** Mean predicted runtime BW matrix on a fresh sim (for scheduling). */
+inline Matrix<Mbps>
+predictedBwMatrix(const BenchContext &ctx, std::uint64_t seed = 31337)
+{
+    net::NetworkSim sim(ctx.topo, ctx.simCfg, seed);
+    sim.advanceBy(10.0);
+    monitor::MeshMeasurer measurer(sim);
+    Rng rng(seed ^ 0xfeed);
+    const monitor::MeasurementConfig mc;
+    const auto snapshot = measurer.snapshot(mc, rng);
+    return ctx.predictor->predictMatrix(ctx.topo, snapshot);
+}
+
+/** Print one aggregate row: latency (s), cost ($), min BW (Mbps). */
+inline std::vector<std::string>
+aggRow(const std::string &name, const experiments::Aggregate &a)
+{
+    return {name,
+            Table::num(a.meanLatency, 0) + " +- " +
+                Table::num(a.seLatency, 0),
+            Table::num(a.meanCost, 2),
+            Table::num(a.meanMinBw, 0) + " +- " +
+                Table::num(a.seMinBw, 0)};
+}
+
+} // namespace bench
+} // namespace wanify
+
+#endif // WANIFY_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Geo-distributed ML training with BW-driven gradient quantization —
+ * the SAGQ workload of Fig. 4.
+ *
+ * Trains an MNIST-scale model synchronously across 8 regions and
+ * compares full-precision gradients (NoQ) against quantization driven
+ * by WANify-predicted BWs, with and without WANify's heterogeneous
+ * parallel transport (WQ).
+ */
+
+#include <cstdio>
+
+#include "core/wanify.hh"
+#include "experiments/predictor_factory.hh"
+#include "experiments/testbed.hh"
+#include "monitor/measurement.hh"
+#include "workloads/ml_quantization.hh"
+
+using namespace wanify;
+using namespace wanify::experiments;
+
+int
+main()
+{
+    const auto topo = workerCluster(8);
+    const auto simCfg = defaultSimConfig();
+    const workloads::MlQuantizationJob job;
+
+    core::Wanify wanify;
+    wanify.setPredictor(sharedPredictor());
+
+    net::NetworkSim probe(topo, simCfg, 21);
+    probe.advanceBy(15.0);
+    Rng rng(22);
+    const auto predicted = wanify.predictRuntimeBw(probe, rng);
+
+    std::printf("model: %zu parameters (%.1f MB full-precision "
+                "gradient), %d epochs, %d syncs/epoch\n",
+                job.spec().parameters,
+                units::toMegabytes(job.gradientBytes()),
+                job.spec().epochs, job.spec().syncsPerEpoch);
+
+    auto report = [&](const char *name,
+                      const workloads::MlRunResult &r) {
+        std::printf("%-22s %6.0f s   $%.2f   min BW %.0f   "
+                    "accuracy %.1f%%\n",
+                    name, r.trainingTime, r.cost.total(), r.minBw,
+                    r.testAccuracy);
+    };
+
+    report("NoQ (32-bit)",
+           job.run(topo, simCfg, 33, std::nullopt, nullptr));
+    report("PredQ (quantized)",
+           job.run(topo, simCfg, 33, predicted, nullptr));
+    report("WQ (quantized+WANify)",
+           job.run(topo, simCfg, 33, predicted, &wanify));
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * WAN-aware scheduling on TPC-DS: how the BW matrix a scheduler
+ * believes changes its placements and the query's outcome.
+ *
+ * Runs the heavy query 78 on the Kimchi (network-cost-aware) scheduler
+ * with three different BW sources — static-independent, WANify-
+ * predicted, and WANify-predicted plus the full WANify transport — the
+ * Table 4 / Fig. 7 pipeline on one query.
+ */
+
+#include <cstdio>
+
+#include "core/wanify.hh"
+#include "experiments/predictor_factory.hh"
+#include "experiments/runner.hh"
+#include "experiments/testbed.hh"
+#include "gda/engine.hh"
+#include "monitor/measurement.hh"
+#include "sched/kimchi.hh"
+#include "storage/hdfs.hh"
+#include "workloads/tpcds.hh"
+
+using namespace wanify;
+using namespace wanify::experiments;
+
+int
+main()
+{
+    const auto topo = workerCluster(8);
+    const auto simCfg = defaultSimConfig();
+
+    const auto job =
+        workloads::tpcDsQuery(workloads::TpcDsQuery::Q78, 100.0);
+    storage::HdfsStore hdfs(topo);
+    hdfs.loadSkewed(job.inputBytes, naturalInputFractions(8));
+    const auto input = hdfs.distribution();
+    sched::KimchiScheduler kimchi;
+
+    const auto staticBw = monitor::staticIndependentBw(
+        topo, simCfg, monitor::MeasurementConfig{}, 11);
+
+    core::Wanify wanify;
+    wanify.setPredictor(sharedPredictor());
+
+    // Predicted runtime BW from a snapshot on a fresh network state.
+    net::NetworkSim probe(topo, simCfg, 12);
+    probe.advanceBy(15.0);
+    Rng rng(13);
+    const auto predicted = wanify.predictRuntimeBw(probe, rng);
+
+    auto sweep = [&](const char *name, const Matrix<Mbps> &bw,
+                     core::Wanify *w) {
+        const auto agg = runTrials(
+            [&](std::uint64_t seed) {
+                gda::Engine engine(topo, simCfg, seed);
+                gda::RunOptions opts;
+                opts.schedulerBw = bw;
+                opts.wanify = w;
+                return engine.run(job, input, kimchi, opts);
+            },
+            5);
+        std::printf("%-34s %7.0f s   $%.2f   min BW %.0f\n",
+                    name, agg.meanLatency, agg.meanCost,
+                    agg.meanMinBw);
+        return agg;
+    };
+
+    std::printf("TPC-DS query 78 (heavy), 100 GB, Kimchi "
+                "(mean of 5 runs):\n");
+    sweep("static-independent BWs", staticBw, nullptr);
+    sweep("WANify-predicted BWs", predicted, nullptr);
+    sweep("predicted + WANify transport", predicted, &wanify);
+    return 0;
+}

@@ -1,0 +1,30 @@
+#include "common/geo.hh"
+
+#include <cmath>
+
+namespace wanify {
+namespace geo {
+
+namespace {
+
+constexpr double kDegToRad = M_PI / 180.0;
+
+} // namespace
+
+Kilometers
+haversineKm(const GeoPoint &a, const GeoPoint &b)
+{
+    const double lat1 = a.latDeg * kDegToRad;
+    const double lat2 = b.latDeg * kDegToRad;
+    const double dlat = (b.latDeg - a.latDeg) * kDegToRad;
+    const double dlon = (b.lonDeg - a.lonDeg) * kDegToRad;
+
+    const double sinLat = std::sin(dlat / 2.0);
+    const double sinLon = std::sin(dlon / 2.0);
+    const double h = sinLat * sinLat +
+                     std::cos(lat1) * std::cos(lat2) * sinLon * sinLon;
+    return 2.0 * kEarthRadiusKm * std::asin(std::sqrt(h));
+}
+
+} // namespace geo
+} // namespace wanify

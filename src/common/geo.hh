@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Geographic coordinates and great-circle distance.
+ *
+ * WANify uses the physical distance between DCs (Table 3, feature Dij) as
+ * a primary predictor feature, derived from the geo-coordinates of the VM
+ * IPs. Here distances come from the region catalog's coordinates via the
+ * haversine formula.
+ */
+
+#ifndef WANIFY_COMMON_GEO_HH
+#define WANIFY_COMMON_GEO_HH
+
+#include "common/units.hh"
+
+namespace wanify {
+
+/** A point on the globe in decimal degrees. */
+struct GeoPoint
+{
+    double latDeg = 0.0;
+    double lonDeg = 0.0;
+};
+
+namespace geo {
+
+/** Mean Earth radius used by the haversine computation. */
+constexpr Kilometers kEarthRadiusKm = 6371.0;
+
+/** Great-circle distance between two points. */
+Kilometers haversineKm(const GeoPoint &a, const GeoPoint &b);
+
+} // namespace geo
+} // namespace wanify
+
+#endif // WANIFY_COMMON_GEO_HH

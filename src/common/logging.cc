@@ -1,0 +1,48 @@
+#include "common/logging.hh"
+
+#include <iostream>
+
+namespace wanify {
+namespace logging {
+
+namespace {
+
+LogLevel gLevel = LogLevel::Warn;
+
+} // namespace
+
+void
+setLevel(LogLevel level)
+{
+    gLevel = level;
+}
+
+LogLevel
+level()
+{
+    return gLevel;
+}
+
+void
+inform(const std::string &msg)
+{
+    if (gLevel >= LogLevel::Info)
+        std::cerr << "info: " << msg << "\n";
+}
+
+void
+warn(const std::string &msg)
+{
+    if (gLevel >= LogLevel::Warn)
+        std::cerr << "warn: " << msg << "\n";
+}
+
+void
+debug(const std::string &msg)
+{
+    if (gLevel >= LogLevel::Debug)
+        std::cerr << "debug: " << msg << "\n";
+}
+
+} // namespace logging
+} // namespace wanify

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component in WANify (fluctuation processes, workload
+ * generators, the Random Forest's bagging) draws from an explicitly seeded
+ * Rng so that benches and tests reproduce bit-for-bit run to run. The
+ * generator is xoshiro256** seeded via splitmix64; distributions are
+ * implemented in-house (Box–Muller for normals) instead of <random> so the
+ * stream does not depend on the standard library implementation.
+ */
+
+#ifndef WANIFY_COMMON_RNG_HH
+#define WANIFY_COMMON_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace wanify {
+
+/** splitmix64 step; used for seeding and as a cheap stateless hash. */
+std::uint64_t splitmix64(std::uint64_t &state);
+
+/**
+ * Deterministic random number generator (xoshiro256**).
+ *
+ * Cheap to copy; child generators for parallel components should be
+ * derived via split() so their streams are independent of the order the
+ * parent is consumed in.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] (inclusive). */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Standard normal via Box–Muller. */
+    double normal();
+
+    /** Normal with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /** Bernoulli draw with success probability p. */
+    bool bernoulli(double p);
+
+    /** Derive an independent child generator. */
+    Rng split();
+
+    /** Fisher–Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = static_cast<std::size_t>(
+                uniformInt(0, static_cast<std::int64_t>(i) - 1));
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** Sample k distinct indices from [0, n) (k <= n). */
+    std::vector<std::size_t> sampleWithoutReplacement(std::size_t n,
+                                                      std::size_t k);
+
+    /** Sample k indices from [0, n) with replacement (bootstrap). */
+    std::vector<std::size_t> sampleWithReplacement(std::size_t n,
+                                                   std::size_t k);
+
+  private:
+    std::uint64_t s_[4];
+
+    /** Cached second Box–Muller variate. */
+    double cachedNormal_ = 0.0;
+    bool hasCachedNormal_ = false;
+};
+
+} // namespace wanify
+
+#endif // WANIFY_COMMON_RNG_HH

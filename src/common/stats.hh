@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Descriptive statistics helpers: mean, standard deviation, Pearson
+ * correlation (used to justify snapshot-based prediction, Section 2.2),
+ * percentiles, and a Welford running accumulator.
+ */
+
+#ifndef WANIFY_COMMON_STATS_HH
+#define WANIFY_COMMON_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace wanify {
+namespace stats {
+
+/** Arithmetic mean; 0 for an empty sample. */
+double mean(const std::vector<double> &xs);
+
+/** Unbiased sample variance; 0 for n < 2. */
+double variance(const std::vector<double> &xs);
+
+/** Unbiased sample standard deviation. */
+double stddev(const std::vector<double> &xs);
+
+/** Standard error of the mean (stddev / sqrt(n)). */
+double stderrOfMean(const std::vector<double> &xs);
+
+/**
+ * Pearson correlation coefficient between two equal-length samples.
+ * Returns 0 when either sample has zero variance.
+ */
+double pearson(const std::vector<double> &xs, const std::vector<double> &ys);
+
+/** Linear-interpolated percentile, p in [0, 100]. */
+double percentile(std::vector<double> xs, double p);
+
+/** Welford online mean/variance accumulator. */
+class RunningStats
+{
+  public:
+    void push(double x);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return mean_; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace stats
+} // namespace wanify
+
+#endif // WANIFY_COMMON_STATS_HH

@@ -1,0 +1,96 @@
+#include "common/table.hh"
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "common/error.hh"
+
+namespace wanify {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    fatalIf(!header_.empty() && row.size() != header_.size(),
+            "Table::addRow: column count mismatch");
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::num(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+Table::pct(double fraction, int decimals)
+{
+    return num(fraction * 100.0, decimals) + "%";
+}
+
+std::string
+Table::str() const
+{
+    // Compute column widths over header and all rows.
+    std::size_t cols = header_.size();
+    for (const auto &r : rows_)
+        cols = std::max(cols, r.size());
+    std::vector<std::size_t> width(cols, 0);
+    auto grow = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    };
+    if (!header_.empty())
+        grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    std::ostringstream out;
+    if (!title_.empty())
+        out << title_ << "\n";
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        out << "|";
+        for (std::size_t c = 0; c < cols; ++c) {
+            const std::string &cell = c < row.size() ? row[c] : "";
+            out << " " << cell
+                << std::string(width[c] - cell.size(), ' ') << " |";
+        }
+        out << "\n";
+    };
+
+    auto rule = [&]() {
+        out << "+";
+        for (std::size_t c = 0; c < cols; ++c)
+            out << std::string(width[c] + 2, '-') << "+";
+        out << "\n";
+    };
+
+    rule();
+    if (!header_.empty()) {
+        emit(header_);
+        rule();
+    }
+    for (const auto &r : rows_)
+        emit(r);
+    rule();
+    return out.str();
+}
+
+void
+Table::print() const
+{
+    std::cout << str() << std::flush;
+}
+
+} // namespace wanify

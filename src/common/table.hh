@@ -1,0 +1,54 @@
+/**
+ * @file
+ * ASCII table printer used by the bench binaries to render paper-style
+ * tables and figure series on stdout.
+ */
+
+#ifndef WANIFY_COMMON_TABLE_HH
+#define WANIFY_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace wanify {
+
+/**
+ * Column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   Table t("Table 1: Gaps between static and runtime BWs (Mbps)");
+ *   t.setHeader({"Difference Interval", "Count"});
+ *   t.addRow({"(100, 200]", "7"});
+ *   t.print();
+ * @endcode
+ */
+class Table
+{
+  public:
+    explicit Table(std::string title = "");
+
+    void setHeader(std::vector<std::string> header);
+    void addRow(std::vector<std::string> row);
+
+    /** Format a double with @p decimals fraction digits. */
+    static std::string num(double v, int decimals = 1);
+
+    /** Format as a percentage string, e.g. "12.5%". */
+    static std::string pct(double fraction, int decimals = 1);
+
+    /** Render to a string. */
+    std::string str() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace wanify
+
+#endif // WANIFY_COMMON_TABLE_HH

@@ -1,0 +1,27 @@
+#include "common/units.hh"
+
+#include <limits>
+
+namespace wanify {
+namespace units {
+
+Seconds
+transferTime(Bytes size, Mbps rate)
+{
+    if (size <= 0.0)
+        return 0.0;
+    if (rate <= 0.0)
+        return std::numeric_limits<Seconds>::infinity();
+    return size * kBitsPerByte / (rate * kBitsPerMegabit);
+}
+
+Mbps
+rateFor(Bytes size, Seconds dt)
+{
+    if (dt <= 0.0)
+        return 0.0;
+    return size * kBitsPerByte / kBitsPerMegabit / dt;
+}
+
+} // namespace units
+} // namespace wanify

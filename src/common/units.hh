@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit types and conversions used throughout WANify.
+ *
+ * Bandwidths are expressed in megabits per second (Mbps), data sizes in
+ * bytes, and times in seconds, matching the units the paper reports.
+ * Helper functions convert between them so that call sites never multiply
+ * raw constants.
+ */
+
+#ifndef WANIFY_COMMON_UNITS_HH
+#define WANIFY_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace wanify {
+
+/** Bandwidth in megabits per second. */
+using Mbps = double;
+
+/** Data size in bytes. */
+using Bytes = double;
+
+/** Time in seconds. */
+using Seconds = double;
+
+/** US dollars. */
+using Dollars = double;
+
+/** Distance in kilometers. */
+using Kilometers = double;
+
+namespace units {
+
+constexpr double kBitsPerByte = 8.0;
+constexpr double kBytesPerKB = 1024.0;
+constexpr double kBytesPerMB = 1024.0 * 1024.0;
+constexpr double kBytesPerGB = 1024.0 * 1024.0 * 1024.0;
+constexpr double kBitsPerMegabit = 1.0e6;
+constexpr double kSecondsPerHour = 3600.0;
+constexpr double kSecondsPerMinute = 60.0;
+constexpr double kMilesPerKilometer = 0.621371;
+
+/** Convert megabytes to bytes. */
+constexpr Bytes
+megabytes(double mb)
+{
+    return mb * kBytesPerMB;
+}
+
+/** Convert gigabytes to bytes. */
+constexpr Bytes
+gigabytes(double gb)
+{
+    return gb * kBytesPerGB;
+}
+
+/** Convert gigabits to bytes (the paper's Fig. 2(d) uses Gb). */
+constexpr Bytes
+gigabits(double gbit)
+{
+    return gbit * 1.0e9 / kBitsPerByte;
+}
+
+/** Convert bytes to megabytes. */
+constexpr double
+toMegabytes(Bytes b)
+{
+    return b / kBytesPerMB;
+}
+
+/** Convert bytes to gigabytes. */
+constexpr double
+toGigabytes(Bytes b)
+{
+    return b / kBytesPerGB;
+}
+
+/**
+ * Time to move @p size bytes at @p rate Mbps.
+ *
+ * @return Transfer duration in seconds; 0 for empty transfers and
+ *         +infinity when the rate is zero but data remains.
+ */
+Seconds transferTime(Bytes size, Mbps rate);
+
+/** Bytes moved in @p dt seconds at @p rate Mbps. */
+constexpr Bytes
+bytesAtRate(Mbps rate, Seconds dt)
+{
+    return rate * kBitsPerMegabit / kBitsPerByte * dt;
+}
+
+/** Achieved rate in Mbps when @p size bytes move in @p dt seconds. */
+Mbps rateFor(Bytes size, Seconds dt);
+
+/** Convert kilometers to miles (feature Dij in Table 3 uses miles). */
+constexpr double
+toMiles(Kilometers km)
+{
+    return km * kMilesPerKilometer;
+}
+
+} // namespace units
+} // namespace wanify
+
+#endif // WANIFY_COMMON_UNITS_HH

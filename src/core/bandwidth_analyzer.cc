@@ -1,0 +1,96 @@
+#include "core/bandwidth_analyzer.hh"
+
+#include "common/error.hh"
+#include "monitor/features.hh"
+
+namespace wanify {
+namespace core {
+
+using net::DcId;
+using net::NetworkSim;
+using net::Topology;
+using net::TopologyBuilder;
+
+BandwidthAnalyzer::BandwidthAnalyzer(AnalyzerConfig config)
+    : config_(std::move(config))
+{
+    fatalIf(config_.clusterSizes.empty(),
+            "BandwidthAnalyzer: no cluster sizes configured");
+    for (std::size_t n : config_.clusterSizes)
+        fatalIf(n < 2 || n > 8,
+                "BandwidthAnalyzer: cluster sizes must be in [2, 8]");
+    fatalIf(config_.meshesPerSize == 0,
+            "BandwidthAnalyzer: meshesPerSize must be > 0");
+}
+
+std::vector<CollectedMesh>
+BandwidthAnalyzer::collectMeshes(std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<CollectedMesh> meshes;
+    meshes.reserve(config_.clusterSizes.size() * config_.meshesPerSize);
+
+    for (std::size_t n : config_.clusterSizes) {
+        const Topology topo =
+            TopologyBuilder::paperTestbed(n, config_.vmType);
+        for (std::size_t m = 0; m < config_.meshesPerSize; ++m) {
+            NetworkSim sim(topo, config_.sim, rng.next());
+            // Random fluctuation phase so samples cover the network's
+            // state space the way a week of collection does.
+            sim.advanceBy(rng.uniform(0.0, config_.maxWarmup));
+
+            monitor::MeshMeasurer measurer(sim);
+            Rng noiseRng = rng.split();
+            CollectedMesh mesh;
+            mesh.clusterSize = n;
+            mesh.snapshotBw =
+                measurer.snapshot(config_.measurement, noiseRng);
+            mesh.stableBw = measurer.measureSimultaneous(
+                config_.measurement.stableDuration,
+                config_.measurement.connections);
+            meshes.push_back(std::move(mesh));
+        }
+    }
+    return meshes;
+}
+
+ml::Dataset
+BandwidthAnalyzer::flatten(const std::vector<CollectedMesh> &meshes,
+                           std::uint64_t seed) const
+{
+    Rng rng(seed ^ 0x5bd1e995UL);
+    ml::Dataset data(monitor::kFeatureCount, 1);
+    for (const auto &mesh : meshes) {
+        const std::size_t n = mesh.clusterSize;
+        const Topology topo =
+            TopologyBuilder::paperTestbed(n, config_.vmType);
+        for (DcId i = 0; i < n; ++i) {
+            for (DcId j = 0; j < n; ++j) {
+                if (i == j)
+                    continue;
+                monitor::HostLoad load;
+                load.memUtil = rng.uniform(0.15, 0.75);
+                load.cpuLoad = rng.uniform(0.1, 0.8);
+                // Congestion proxy: how far the snapshot fell below
+                // the single-connection capability of the pair.
+                const double cap = topo.connCap(i, j);
+                const double retrans = std::max(
+                    0.0, 1.0 - mesh.snapshotBw.at(i, j) /
+                                   std::max(cap, 1.0));
+                data.add(monitor::pairFeatures(topo, mesh.snapshotBw,
+                                               i, j, load, retrans),
+                         mesh.stableBw.at(i, j));
+            }
+        }
+    }
+    return data;
+}
+
+ml::Dataset
+BandwidthAnalyzer::collect(std::uint64_t seed)
+{
+    return flatten(collectMeshes(seed), seed);
+}
+
+} // namespace core
+} // namespace wanify

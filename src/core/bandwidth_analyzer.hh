@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Offline Bandwidth Analyzer (Section 4.1.1): collects training data for
+ * the WAN Prediction Model.
+ *
+ * For each sample the analyzer spins up the configured testbed, lets the
+ * fluctuation process reach a random phase, takes a 1-second snapshot
+ * mesh measurement, then measures the stable (>= 20 s) runtime BW on the
+ * same network trajectory. Each ordered DC pair contributes one training
+ * row: Table 3 features -> stable runtime BW. Cluster sizes are cycled
+ * through [2, Nmax] so a single model serves any cluster size (Section
+ * 3.3.2).
+ */
+
+#ifndef WANIFY_CORE_BANDWIDTH_ANALYZER_HH
+#define WANIFY_CORE_BANDWIDTH_ANALYZER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.hh"
+#include "monitor/measurement.hh"
+#include "net/network_sim.hh"
+#include "net/topology.hh"
+
+namespace wanify {
+namespace core {
+
+/** Analyzer configuration. */
+struct AnalyzerConfig
+{
+    /** Cluster sizes to collect for (paper: [2, Nmax]). */
+    std::vector<std::size_t> clusterSizes = {4, 6, 8};
+
+    /** Mesh measurements per cluster size. */
+    std::size_t meshesPerSize = 40;
+
+    /** VM type hosting the probes. */
+    net::VmType vmType = net::VmTypeCatalog::t3nano();
+
+    monitor::MeasurementConfig measurement;
+    net::NetworkSimConfig sim;
+
+    /** Random warm-up before sampling, so phases differ. */
+    Seconds maxWarmup = 120.0;
+};
+
+/** One collected mesh: features context plus both BW matrices. */
+struct CollectedMesh
+{
+    std::size_t clusterSize = 0;
+    Matrix<Mbps> snapshotBw;
+    Matrix<Mbps> stableBw;
+};
+
+class BandwidthAnalyzer
+{
+  public:
+    explicit BandwidthAnalyzer(AnalyzerConfig config = {});
+
+    /**
+     * Collect meshes and flatten them into a per-pair training dataset
+     * (features of Table 3 -> stable runtime BW).
+     */
+    ml::Dataset collect(std::uint64_t seed);
+
+    /** Collect raw meshes (used by accuracy experiments). */
+    std::vector<CollectedMesh> collectMeshes(std::uint64_t seed);
+
+    /** Flatten meshes into the per-pair dataset. */
+    ml::Dataset flatten(const std::vector<CollectedMesh> &meshes,
+                        std::uint64_t seed) const;
+
+    const AnalyzerConfig &config() const { return config_; }
+
+  private:
+    AnalyzerConfig config_;
+};
+
+} // namespace core
+} // namespace wanify
+
+#endif // WANIFY_CORE_BANDWIDTH_ANALYZER_HH

@@ -1,0 +1,50 @@
+#include "core/bw.hh"
+
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace wanify {
+namespace core {
+
+std::size_t
+countSignificantGaps(const BwMatrix &a, const BwMatrix &b, Mbps threshold)
+{
+    fatalIf(a.rows() != b.rows() || a.cols() != b.cols(),
+            "countSignificantGaps: shape mismatch");
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t j = 0; j < a.cols(); ++j) {
+            if (i == j)
+                continue;
+            if (std::abs(a.at(i, j) - b.at(i, j)) > threshold)
+                ++count;
+        }
+    }
+    return count;
+}
+
+GapHistogram
+gapHistogram(const BwMatrix &a, const BwMatrix &b)
+{
+    fatalIf(a.rows() != b.rows() || a.cols() != b.cols(),
+            "gapHistogram: shape mismatch");
+    GapHistogram hist;
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t j = 0; j < a.cols(); ++j) {
+            if (i == j)
+                continue;
+            const double gap = std::abs(a.at(i, j) - b.at(i, j));
+            if (gap > 250.0)
+                ++hist.high;
+            else if (gap > 200.0)
+                ++hist.mid;
+            else if (gap > 100.0)
+                ++hist.low;
+        }
+    }
+    return hist;
+}
+
+} // namespace core
+} // namespace wanify

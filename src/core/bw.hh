@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Bandwidth and connection matrix aliases plus small helpers shared by
+ * the WANify components (Section 2.3: both predicted BWs and connection
+ * counts are N x N matrices).
+ */
+
+#ifndef WANIFY_CORE_BW_HH
+#define WANIFY_CORE_BW_HH
+
+#include <cstddef>
+
+#include "common/matrix.hh"
+#include "common/units.hh"
+
+namespace wanify {
+namespace core {
+
+/** Pairwise bandwidth matrix (Mbps), diagonal = intra-DC. */
+using BwMatrix = Matrix<Mbps>;
+
+/** Pairwise parallel-connection counts. */
+using ConnMatrix = Matrix<int>;
+
+/** The paper's significance threshold for BW differences (Mbps). */
+constexpr Mbps kSignificantDelta = 100.0;
+
+/**
+ * Count off-diagonal entries where |a - b| exceeds @p threshold — the
+ * paper's measure of how far one BW matrix is from another (Table 1,
+ * Fig. 11).
+ */
+std::size_t countSignificantGaps(const BwMatrix &a, const BwMatrix &b,
+                                 Mbps threshold = kSignificantDelta);
+
+/**
+ * Histogram of off-diagonal |a - b| gaps over intervals
+ * (t, 200], (200, 250], (250, inf) for threshold t = 100 — exactly the
+ * bins of Table 1.
+ */
+struct GapHistogram
+{
+    std::size_t low = 0;  ///< (100, 200]
+    std::size_t mid = 0;  ///< (200, 250]
+    std::size_t high = 0; ///< > 250
+
+    std::size_t total() const { return low + mid + high; }
+};
+
+GapHistogram gapHistogram(const BwMatrix &a, const BwMatrix &b);
+
+} // namespace core
+} // namespace wanify
+
+#endif // WANIFY_CORE_BW_HH

@@ -1,0 +1,69 @@
+#include "core/dc_relations.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hh"
+
+namespace wanify {
+namespace core {
+
+Matrix<int>
+inferDcRelations(const BwMatrix &bw, Mbps minDifference)
+{
+    fatalIf(bw.rows() != bw.cols(), "inferDcRelations: non-square matrix");
+    fatalIf(bw.rows() < 2, "inferDcRelations: need at least 2 DCs");
+    fatalIf(minDifference < 0.0,
+            "inferDcRelations: negative minDifference");
+    const std::size_t n = bw.rows();
+
+    // bwu = sort(set(bw)): unique sorted BW levels.
+    std::vector<Mbps> levels(bw.data());
+    std::sort(levels.begin(), levels.end());
+    levels.erase(std::unique(levels.begin(), levels.end()),
+                 levels.end());
+
+    // Reverse traversal removing levels closer than D to their
+    // predecessor (Algorithm 1 lines 4-8).
+    for (std::size_t i = levels.size(); i >= 2; --i) {
+        if (levels[i - 1] - levels[i - 2] < minDifference)
+            levels.erase(levels.begin() + static_cast<long>(i - 1));
+    }
+    panicIf(levels.empty(), "inferDcRelations: no BW levels left");
+    const std::size_t len = levels.size();
+
+    Matrix<int> rel = Matrix<int>::square(n, 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            const Mbps v = bw.at(i, j);
+            // Binary search for v; on a miss, pick the nearer of the
+            // two bracketing levels (lines 12-19).
+            const auto it =
+                std::lower_bound(levels.begin(), levels.end(), v);
+            std::size_t idx; // 0-based index of the chosen level
+            if (it != levels.end() && *it == v) {
+                idx = static_cast<std::size_t>(it - levels.begin());
+            } else if (it == levels.begin()) {
+                idx = 0;
+            } else if (it == levels.end()) {
+                idx = len - 1;
+            } else {
+                const std::size_t above =
+                    static_cast<std::size_t>(it - levels.begin());
+                const std::size_t below = above - 1;
+                // Ties resolve to the lower level (farther relation).
+                idx = (std::abs(levels[above] - v) <
+                       std::abs(v - levels[below]))
+                          ? above
+                          : below;
+            }
+            // DCrel = len(bwu) - k + 1 with 1-based k = idx + 1.
+            rel.at(i, j) = static_cast<int>(len - idx);
+        }
+    }
+    return rel;
+}
+
+} // namespace core
+} // namespace wanify

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Algorithm 1: inferring DC relationships (closeness indices).
+ *
+ * Given a runtime BW matrix and a minimum significant difference D, the
+ * algorithm derives a "closeness index" for every DC pair: 1 for the
+ * best-connected pairs, growing for more distant (lower-BW) pairs. The
+ * paper's worked example:
+ *
+ *   bw = {1000, 400, 120; 380, 1000, 130; 110, 120, 1000}, D = 30
+ *   unique sorted BWs: {110, 120, 130, 380, 400, 1000}
+ *   filtered by D:     {110, 380, 1000}
+ *   closeness:         1000 -> 1, {400, 380} -> 2, {130, 120, 110} -> 3
+ *
+ * The paper's pseudo-code loops `1..N/2`, but its own example fills the
+ * full matrix; we iterate all N x N cells (see DESIGN.md).
+ */
+
+#ifndef WANIFY_CORE_DC_RELATIONS_HH
+#define WANIFY_CORE_DC_RELATIONS_HH
+
+#include "core/bw.hh"
+
+namespace wanify {
+namespace core {
+
+/**
+ * Compute closeness indices for every DC pair.
+ *
+ * @param bw   runtime (predicted) BW matrix, diagonal = intra-DC BW
+ * @param minDifference  D — BW differences below this are merged
+ * @return     integer matrix; 1 = closest, larger = farther
+ */
+Matrix<int> inferDcRelations(const BwMatrix &bw, Mbps minDifference);
+
+} // namespace core
+} // namespace wanify
+
+#endif // WANIFY_CORE_DC_RELATIONS_HH

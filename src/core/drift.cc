@@ -1,0 +1,58 @@
+#include "core/drift.hh"
+
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace wanify {
+namespace core {
+
+ModelDriftDetector::ModelDriftDetector(DriftConfig config)
+    : config_(config)
+{
+    fatalIf(config_.windowSize == 0, "DriftDetector: empty window");
+    fatalIf(config_.retrainFraction <= 0.0 ||
+                config_.retrainFraction > 1.0,
+            "DriftDetector: retrainFraction must be in (0, 1]");
+}
+
+void
+ModelDriftDetector::record(Mbps predicted, Mbps actual)
+{
+    const bool significant =
+        std::abs(predicted - actual) > config_.significantError;
+    window_.push_back(significant);
+    if (significant)
+        ++significantCount_;
+    while (window_.size() > config_.windowSize) {
+        if (window_.front())
+            --significantCount_;
+        window_.pop_front();
+    }
+}
+
+double
+ModelDriftDetector::errorFraction() const
+{
+    if (window_.empty())
+        return 0.0;
+    return static_cast<double>(significantCount_) /
+           static_cast<double>(window_.size());
+}
+
+bool
+ModelDriftDetector::needsRetraining() const
+{
+    return window_.size() >= config_.minObservations &&
+           errorFraction() >= config_.retrainFraction;
+}
+
+void
+ModelDriftDetector::reset()
+{
+    window_.clear();
+    significantCount_ = 0;
+}
+
+} // namespace core
+} // namespace wanify

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Out-of-date model detection (Section 3.3.4).
+ *
+ * Prediction error is tracked by intermittently comparing predicted BWs
+ * with observed runtime values; when the fraction of significant errors
+ * (> 100 Mbps) within a sliding window crosses the configured
+ * threshold, a retrain flag is raised. The GDA application then
+ * retrains the forest with warm start on the additionally collected
+ * samples.
+ */
+
+#ifndef WANIFY_CORE_DRIFT_HH
+#define WANIFY_CORE_DRIFT_HH
+
+#include <cstddef>
+#include <deque>
+
+#include "common/units.hh"
+
+namespace wanify {
+namespace core {
+
+/** Drift detector configuration. */
+struct DriftConfig
+{
+    /** Error magnitude considered significant (Mbps). */
+    Mbps significantError = 100.0;
+
+    /** Sliding window length in recorded comparisons. */
+    std::size_t windowSize = 64;
+
+    /** Fraction of significant errors that triggers retraining. */
+    double retrainFraction = 0.3;
+
+    /** Minimum observations before the detector may trigger. */
+    std::size_t minObservations = 16;
+};
+
+class ModelDriftDetector
+{
+  public:
+    explicit ModelDriftDetector(DriftConfig config = {});
+
+    /** Record one predicted/actual comparison. */
+    void record(Mbps predicted, Mbps actual);
+
+    /** True when the retrain flag is raised. */
+    bool needsRetraining() const;
+
+    /** Current significant-error fraction over the window. */
+    double errorFraction() const;
+
+    std::size_t observations() const { return window_.size(); }
+
+    /** Clear state after a retrain. */
+    void reset();
+
+  private:
+    DriftConfig config_;
+    std::deque<bool> window_;
+    std::size_t significantCount_ = 0;
+};
+
+} // namespace core
+} // namespace wanify
+
+#endif // WANIFY_CORE_DRIFT_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Static global optimization (Section 3.2.1, Eq. 2 and Eq. 3).
+ *
+ * From the predicted runtime BW matrix the optimizer derives, greedily,
+ * a *range* of heterogeneous connection counts and achievable BWs per DC
+ * pair: distant pairs (high closeness index) receive more of the limited
+ * per-host connection budget M, trading strong links for weak ones. The
+ * ranges [minCons, maxCons] / [minBW, maxBW] are handed to the local
+ * agents, which fine-tune within them at runtime (AIMD).
+ *
+ * Skew weights (ws, Section 3.3.1) proportionally re-allocate the range
+ * toward data-heavy DCs; the refactoring vector (rvec, Section 3.3.3)
+ * rescales achievable BWs for heterogeneous providers.
+ */
+
+#ifndef WANIFY_CORE_GLOBAL_OPTIMIZER_HH
+#define WANIFY_CORE_GLOBAL_OPTIMIZER_HH
+
+#include <vector>
+
+#include "core/bw.hh"
+
+namespace wanify {
+namespace core {
+
+/** Global optimizer tunables. */
+struct GlobalOptimizerConfig
+{
+    /**
+     * M: per-host parallel-connection budget toward one peer. The paper
+     * observes no gain past ~8 connections (Section 2.2) and uses 8 for
+     * the uniform baseline.
+     */
+    int maxConnections = 8;
+
+    /** D: minimum significant BW difference for Algorithm 1. */
+    Mbps minDifference = 100.0;
+
+    /** Hard per-pair clamp after skew weighting. */
+    int absoluteMaxConnections = 16;
+};
+
+/** Output of global optimization: the per-pair ranges. */
+struct GlobalPlan
+{
+    Matrix<int> dcRel;   ///< closeness indices (Algorithm 1)
+    ConnMatrix minCons;  ///< lower end of connection range
+    ConnMatrix maxCons;  ///< upper end of connection range
+    BwMatrix minBw;      ///< achievable BW at minCons
+    BwMatrix maxBw;      ///< achievable BW at maxCons
+};
+
+class GlobalOptimizer
+{
+  public:
+    explicit GlobalOptimizer(GlobalOptimizerConfig config = {});
+
+    /**
+     * Run Eq. 2/3 on the predicted BW matrix.
+     *
+     * @param predictedBw predicted runtime BW matrix
+     * @param skewWeights ws — per-DC weights (empty = uniform 1.0);
+     *                    a pair's weight is max(ws[i], ws[j])
+     * @param rvec        per-pair BW refactoring multipliers (empty
+     *                    matrix = all 1.0)
+     */
+    GlobalPlan optimize(const BwMatrix &predictedBw,
+                        const std::vector<double> &skewWeights = {},
+                        const Matrix<double> &rvec = {}) const;
+
+    const GlobalOptimizerConfig &config() const { return config_; }
+
+  private:
+    GlobalOptimizerConfig config_;
+};
+
+} // namespace core
+} // namespace wanify
+
+#endif // WANIFY_CORE_GLOBAL_OPTIMIZER_HH

@@ -1,0 +1,174 @@
+#include "core/local_agent.hh"
+
+#include <algorithm>
+
+#include "common/stats.hh"
+
+namespace wanify {
+namespace core {
+
+using net::DcId;
+using net::TransferId;
+
+LocalAgent::LocalAgent(net::NetworkSim &sim, DcId sourceDc,
+                       const GlobalPlan &plan,
+                       std::vector<Mbps> predictedBw, AimdConfig cfg,
+                       bool dynamicThrottling)
+    : sim_(sim),
+      sourceDc_(sourceDc),
+      iftop_(sim, sourceDc),
+      optimizer_(sourceDc, plan, std::move(predictedBw), cfg),
+      lastMonitored_(sim.topology().dcCount(), 0.0),
+      dynamicThrottling_(dynamicThrottling),
+      capped_(sim.topology().dcCount(), false)
+{
+    iftop_.beginWindow();
+    applyTargets();
+}
+
+void
+LocalAgent::onEpoch()
+{
+    const std::size_t n = sim_.topology().dcCount();
+    lastMonitored_ = iftop_.endWindow();
+
+    std::vector<Bytes> pending(n, 0.0);
+    for (DcId j = 0; j < n; ++j) {
+        if (j == sourceDc_)
+            continue;
+        pending[j] = sim_.pendingBytesBetween(sourceDc_, j);
+    }
+
+    optimizer_.epochUpdate(lastMonitored_, pending);
+    if (dynamicThrottling_)
+        updateThrottles(lastMonitored_, pending);
+    applyTargets();
+    iftop_.beginWindow();
+}
+
+void
+LocalAgent::updateThrottles(const std::vector<Mbps> &monitored,
+                            const std::vector<Bytes> &pending)
+{
+    const std::size_t n = sim_.topology().dcCount();
+    const Bytes minSize = optimizer_.config().minTransferSize;
+
+    // Threshold T: mean monitored egress over destinations that still
+    // move real data (Section 3.2.2). Pairs above T are BW-rich.
+    double sum = 0.0;
+    std::size_t count = 0;
+    Seconds slowestRemaining = 0.0;
+    for (DcId j = 0; j < n; ++j) {
+        if (j == sourceDc_ || pending[j] < minSize)
+            continue;
+        sum += monitored[j];
+        ++count;
+        slowestRemaining = std::max(
+            slowestRemaining,
+            units::transferTime(pending[j],
+                                std::max(monitored[j], 1.0)));
+    }
+    if (count < 2 || slowestRemaining <= 0.0)
+        return; // nothing to balance against
+    const Mbps threshold = sum / static_cast<double>(count);
+
+    for (DcId j = 0; j < n; ++j) {
+        if (j == sourceDc_)
+            continue;
+        if (pending[j] < minSize) {
+            // Pair drained — release its cap.
+            if (capped_[j]) {
+                sim_.setTcLimit(sourceDc_, j, 0.0);
+                capped_[j] = false;
+            }
+            continue;
+        }
+        if (monitored[j] > threshold)
+            capped_[j] = true; // newly identified as BW-rich
+        if (capped_[j]) {
+            // BW-rich destination: cap at the row's mean monitored
+            // rate T (Section 3.2.2) so it cannot crowd the NIC the
+            // weak links depend on. The agents are data-transfer-size
+            // aware: a pair that *needs* more than T to finish
+            // alongside the slowest pair keeps that rate (with 20%
+            // headroom) — throttling must never manufacture a new
+            // straggler. Caps are recomputed every epoch, so they
+            // converge toward a balanced finish.
+            const Mbps needed = units::rateFor(pending[j],
+                                               slowestRemaining) *
+                                1.35;
+            sim_.setTcLimit(sourceDc_, j,
+                            std::max(threshold, needed));
+        }
+    }
+}
+
+void
+LocalAgent::resetWindow()
+{
+    iftop_.beginWindow();
+}
+
+void
+LocalAgent::applyTargets()
+{
+    const std::size_t n = sim_.topology().dcCount();
+    for (DcId j = 0; j < n; ++j) {
+        if (j == sourceDc_)
+            continue;
+        const auto ids = sim_.transfersBetween(sourceDc_, j);
+        if (ids.empty())
+            continue;
+        const int target = optimizer_.targetConnections(j);
+        // Connections-manager role: split the per-pair budget across
+        // the pair's transfers, at least one connection each.
+        const int perTransfer = std::max(
+            1, target / static_cast<int>(ids.size()));
+        for (TransferId id : ids)
+            sim_.setConnections(id, perTransfer);
+    }
+}
+
+double
+LocalAgent::targetBwStddev() const
+{
+    std::vector<double> values;
+    const std::size_t n = sim_.topology().dcCount();
+    for (DcId j = 0; j < n; ++j) {
+        if (j == sourceDc_)
+            continue;
+        values.push_back(optimizer_.targetBw(j));
+    }
+    return stats::stddev(values);
+}
+
+double
+LocalAgent::meanTrackingError() const
+{
+    const std::size_t n = sim_.topology().dcCount();
+    double total = 0.0;
+    std::size_t count = 0;
+    for (DcId j = 0; j < n; ++j) {
+        if (j == sourceDc_)
+            continue;
+        total += std::abs(optimizer_.targetBw(j) - lastMonitored_[j]);
+        ++count;
+    }
+    return count ? total / static_cast<double>(count) : 0.0;
+}
+
+double
+LocalAgent::monitoredBwStddev() const
+{
+    std::vector<double> values;
+    const std::size_t n = sim_.topology().dcCount();
+    for (DcId j = 0; j < n; ++j) {
+        if (j == sourceDc_)
+            continue;
+        values.push_back(lastMonitored_[j]);
+    }
+    return stats::stddev(values);
+}
+
+} // namespace core
+} // namespace wanify

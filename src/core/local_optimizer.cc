@@ -1,0 +1,98 @@
+#include "core/local_optimizer.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+
+namespace wanify {
+namespace core {
+
+LocalOptimizer::LocalOptimizer(std::size_t sourceDc,
+                               const GlobalPlan &plan,
+                               std::vector<Mbps> predictedBw,
+                               AimdConfig cfg)
+    : sourceDc_(sourceDc), cfg_(cfg), predictedBw_(std::move(predictedBw))
+{
+    const std::size_t n = plan.minCons.rows();
+    fatalIf(sourceDc >= n, "LocalOptimizer: sourceDc out of range");
+    fatalIf(predictedBw_.size() != n,
+            "LocalOptimizer: predicted BW row size mismatch");
+
+    minCons_.resize(n);
+    maxCons_.resize(n);
+    minBw_.resize(n);
+    maxBw_.resize(n);
+    for (std::size_t j = 0; j < n; ++j) {
+        minCons_[j] = plan.minCons.at(sourceDc, j);
+        maxCons_[j] = plan.maxCons.at(sourceDc, j);
+        minBw_[j] = plan.minBw.at(sourceDc, j);
+        maxBw_[j] = plan.maxBw.at(sourceDc, j);
+    }
+
+    // Start from the maximum configuration (Section 3.2.2).
+    cons_ = maxCons_;
+    bw_ = maxBw_;
+    mode_.assign(n, AimdMode::Hold);
+}
+
+void
+LocalOptimizer::epochUpdate(const std::vector<Mbps> &monitoredBw,
+                            const std::vector<Bytes> &pendingBytes)
+{
+    const std::size_t n = cons_.size();
+    fatalIf(monitoredBw.size() != n || pendingBytes.size() != n,
+            "LocalOptimizer::epochUpdate: vector size mismatch");
+
+    for (std::size_t j = 0; j < n; ++j) {
+        if (j == sourceDc_) {
+            mode_[j] = AimdMode::Hold;
+            continue;
+        }
+        // Tiny transfers say nothing about network state; skip to
+        // avoid mode thrashing (Section 3.2.2).
+        if (pendingBytes[j] < cfg_.minTransferSize) {
+            mode_[j] = AimdMode::Skipped;
+            continue;
+        }
+
+        if (monitoredBw[j] < bw_[j] - cfg_.significantDelta) {
+            // Multiplicative decrease: congestion detected.
+            cons_[j] = std::max(minCons_[j], cons_[j] / 2);
+            bw_[j] = std::max(minBw_[j], bw_[j] / 2.0);
+            mode_[j] = AimdMode::Decrease;
+        } else if (cons_[j] < maxCons_[j]) {
+            // Additive increase: +1 connection, linear BW bump toward
+            // predicted x connections.
+            cons_[j] = std::min(maxCons_[j], cons_[j] + 1);
+            const Mbps linear = predictedBw_[j] * cons_[j];
+            bw_[j] = std::clamp(linear, minBw_[j], maxBw_[j]);
+            mode_[j] = AimdMode::Increase;
+        } else {
+            mode_[j] = AimdMode::Hold;
+        }
+    }
+}
+
+int
+LocalOptimizer::targetConnections(std::size_t dst) const
+{
+    panicIf(dst >= cons_.size(), "targetConnections: out of range");
+    return cons_[dst];
+}
+
+Mbps
+LocalOptimizer::targetBw(std::size_t dst) const
+{
+    panicIf(dst >= bw_.size(), "targetBw: out of range");
+    return bw_[dst];
+}
+
+AimdMode
+LocalOptimizer::lastMode(std::size_t dst) const
+{
+    panicIf(dst >= mode_.size(), "lastMode: out of range");
+    return mode_[dst];
+}
+
+} // namespace core
+} // namespace wanify

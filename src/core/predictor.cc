@@ -1,0 +1,69 @@
+#include "core/predictor.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+
+namespace wanify {
+namespace core {
+
+RuntimeBwPredictor::RuntimeBwPredictor(ml::ForestConfig config)
+    : forest_(config)
+{}
+
+void
+RuntimeBwPredictor::train(const ml::Dataset &data, std::uint64_t seed)
+{
+    fatalIf(data.featureCount() != monitor::kFeatureCount,
+            "RuntimeBwPredictor: dataset feature count mismatch");
+    fatalIf(data.outputCount() != 1,
+            "RuntimeBwPredictor: dataset must be single-output");
+    forest_.fit(data, seed);
+}
+
+void
+RuntimeBwPredictor::retrain(const ml::Dataset &data,
+                            std::size_t extraTrees, std::uint64_t seed)
+{
+    fatalIf(data.featureCount() != monitor::kFeatureCount,
+            "RuntimeBwPredictor: dataset feature count mismatch");
+    forest_.warmStart(data, extraTrees, seed);
+}
+
+Mbps
+RuntimeBwPredictor::predictPair(
+    const std::vector<double> &features) const
+{
+    panicIf(!forest_.trained(), "RuntimeBwPredictor: not trained");
+    return std::max(0.0, forest_.predictScalar(features));
+}
+
+BwMatrix
+RuntimeBwPredictor::predictMatrix(const net::Topology &topo,
+                                  const BwMatrix &snapshotBw,
+                                  const monitor::HostLoad &load) const
+{
+    const std::size_t n = topo.dcCount();
+    fatalIf(snapshotBw.rows() != n || snapshotBw.cols() != n,
+            "predictMatrix: snapshot shape mismatch");
+
+    BwMatrix predicted = BwMatrix::square(n, 0.0);
+    for (net::DcId i = 0; i < n; ++i) {
+        for (net::DcId j = 0; j < n; ++j) {
+            if (i == j) {
+                predicted.at(i, j) = snapshotBw.at(i, j);
+                continue;
+            }
+            const double cap = topo.connCap(i, j);
+            const double retrans = std::max(
+                0.0,
+                1.0 - snapshotBw.at(i, j) / std::max(cap, 1.0));
+            predicted.at(i, j) = predictPair(monitor::pairFeatures(
+                topo, snapshotBw, i, j, load, retrans));
+        }
+    }
+    return predicted;
+}
+
+} // namespace core
+} // namespace wanify

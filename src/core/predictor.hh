@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Runtime BW predictor — the WAN Prediction Model (Sections 3.1, 4.1.1).
+ *
+ * A Random Forest regressor over the Table 3 features predicts the
+ * stable runtime BW of each DC pair from a cheap 1-second snapshot.
+ * Existing WAN-aware GDA systems consume the predicted matrix exactly
+ * where they previously used static iPerf measurements.
+ */
+
+#ifndef WANIFY_CORE_PREDICTOR_HH
+#define WANIFY_CORE_PREDICTOR_HH
+
+#include <cstdint>
+
+#include "core/bw.hh"
+#include "ml/random_forest.hh"
+#include "monitor/features.hh"
+#include "net/network_sim.hh"
+
+namespace wanify {
+namespace core {
+
+class RuntimeBwPredictor
+{
+  public:
+    /** Default forest: 100 estimators (the paper's best setting). */
+    explicit RuntimeBwPredictor(ml::ForestConfig config = {});
+
+    /** Train on an analyzer-produced dataset. */
+    void train(const ml::Dataset &data, std::uint64_t seed);
+
+    /**
+     * Warm-start retraining (Sections 3.3.2 / 3.3.4) on a combined
+     * dataset, adding @p extraTrees trees.
+     */
+    void retrain(const ml::Dataset &data, std::size_t extraTrees,
+                 std::uint64_t seed);
+
+    /** Predict one pair's runtime BW from a Table 3 feature vector. */
+    Mbps predictPair(const std::vector<double> &features) const;
+
+    /**
+     * Predict the full runtime BW matrix from a snapshot mesh.
+     * Host loads default to the analyzer's training midpoint; callers
+     * with live telemetry pass their own.
+     */
+    BwMatrix predictMatrix(const net::Topology &topo,
+                           const BwMatrix &snapshotBw,
+                           const monitor::HostLoad &load = {}) const;
+
+    bool trained() const { return forest_.trained(); }
+    const ml::RandomForestRegressor &forest() const { return forest_; }
+
+  private:
+    ml::RandomForestRegressor forest_;
+};
+
+} // namespace core
+} // namespace wanify
+
+#endif // WANIFY_CORE_PREDICTOR_HH

@@ -1,0 +1,67 @@
+#include "core/throttle.hh"
+
+#include "common/error.hh"
+
+namespace wanify {
+namespace core {
+
+BwMatrix
+ThrottleController::apply(net::NetworkSim &sim,
+                          const BwMatrix &achievableBw)
+{
+    const std::size_t n = achievableBw.rows();
+    fatalIf(achievableBw.cols() != n, "ThrottleController: non-square");
+    fatalIf(n != sim.topology().dcCount(),
+            "ThrottleController: matrix/topology mismatch");
+
+    clear(sim);
+    thresholds_.assign(n, 0.0);
+    BwMatrix limits = BwMatrix::square(n, 0.0);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        // T = mean achievable BW from this region (off-diagonal).
+        double sum = 0.0;
+        std::size_t count = 0;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (i == j)
+                continue;
+            sum += achievableBw.at(i, j);
+            ++count;
+        }
+        if (count == 0)
+            continue;
+        const Mbps t = sum / static_cast<double>(count);
+        thresholds_[i] = t;
+
+        for (std::size_t j = 0; j < n; ++j) {
+            if (i == j)
+                continue;
+            if (achievableBw.at(i, j) > t) {
+                sim.setTcLimit(i, j, t);
+                limits.at(i, j) = t;
+                limitedPairs_.emplace_back(i, j);
+            }
+        }
+    }
+    return limits;
+}
+
+void
+ThrottleController::clear(net::NetworkSim &sim)
+{
+    for (const auto &[i, j] : limitedPairs_)
+        sim.setTcLimit(i, j, 0.0);
+    limitedPairs_.clear();
+    thresholds_.clear();
+}
+
+Mbps
+ThrottleController::threshold(std::size_t srcDc) const
+{
+    if (srcDc >= thresholds_.size())
+        return 0.0;
+    return thresholds_[srcDc];
+}
+
+} // namespace core
+} // namespace wanify

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Dynamic BW throttling (Section 3.2.2, "Throttling BW").
+ *
+ * To stop nearby DCs from consuming the bulk of the available network,
+ * local agents compute, per source DC, a threshold T = mean achievable
+ * BW from that DC; destinations whose achievable BW exceeds T are capped
+ * at T with Traffic Control. Fig. 5 shows this (WANify-TC) giving the
+ * best minimum BW, latency, and cost.
+ */
+
+#ifndef WANIFY_CORE_THROTTLE_HH
+#define WANIFY_CORE_THROTTLE_HH
+
+#include "core/bw.hh"
+#include "net/network_sim.hh"
+
+namespace wanify {
+namespace core {
+
+class ThrottleController
+{
+  public:
+    ThrottleController() = default;
+
+    /**
+     * Compute the per-source thresholds from @p achievableBw (the
+     * plan's maxBw matrix) and install tc limits on @p sim for every
+     * BW-rich pair. Returns the matrix of applied limits (0 = no
+     * limit).
+     */
+    BwMatrix apply(net::NetworkSim &sim, const BwMatrix &achievableBw);
+
+    /** Remove every limit this controller installed. */
+    void clear(net::NetworkSim &sim);
+
+    /** Threshold used for a source DC in the last apply() (0 if none). */
+    Mbps threshold(std::size_t srcDc) const;
+
+  private:
+    std::vector<Mbps> thresholds_;
+    std::vector<std::pair<std::size_t, std::size_t>> limitedPairs_;
+};
+
+} // namespace core
+} // namespace wanify
+
+#endif // WANIFY_CORE_THROTTLE_HH

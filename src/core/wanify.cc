@@ -1,0 +1,146 @@
+#include "core/wanify.hh"
+
+#include "common/error.hh"
+
+namespace wanify {
+namespace core {
+
+WanifyFeatures
+WanifyFeatures::globalOnly()
+{
+    WanifyFeatures f;
+    f.localOptimization = false;
+    f.throttling = false;
+    return f;
+}
+
+WanifyFeatures
+WanifyFeatures::localOnly()
+{
+    WanifyFeatures f;
+    f.globalOptimization = false;
+    f.throttling = false;
+    return f;
+}
+
+Wanify::Wanify(WanifyConfig config)
+    : config_(std::move(config)), drift_(config_.drift)
+{}
+
+void
+Wanify::train(const AnalyzerConfig &analyzerCfg, std::uint64_t seed)
+{
+    BandwidthAnalyzer analyzer(analyzerCfg);
+    const ml::Dataset data = analyzer.collect(seed);
+    auto predictor =
+        std::make_shared<RuntimeBwPredictor>(config_.forest);
+    predictor->train(data, seed ^ 0x9e3779b9UL);
+    predictor_ = std::move(predictor);
+}
+
+void
+Wanify::setPredictor(std::shared_ptr<const RuntimeBwPredictor> p)
+{
+    fatalIf(!p || !p->trained(),
+            "Wanify::setPredictor: predictor not trained");
+    predictor_ = std::move(p);
+}
+
+bool
+Wanify::trained() const
+{
+    return predictor_ && predictor_->trained();
+}
+
+const RuntimeBwPredictor &
+Wanify::predictor() const
+{
+    fatalIf(!trained(), "Wanify: predictor not trained");
+    return *predictor_;
+}
+
+BwMatrix
+Wanify::predictRuntimeBw(net::NetworkSim &sim, Rng &rng) const
+{
+    fatalIf(!trained(), "Wanify: predictor not trained");
+    monitor::MeshMeasurer measurer(sim);
+    const BwMatrix snapshot =
+        measurer.snapshot(config_.measurement, rng);
+    return predictor_->predictMatrix(sim.topology(), snapshot);
+}
+
+GlobalPlan
+Wanify::plan(const BwMatrix &predictedBw,
+             const std::vector<double> &skewWeights,
+             const Matrix<double> &rvec) const
+{
+    const std::size_t n = predictedBw.rows();
+    GlobalOptimizer optimizer(config_.global);
+    const std::vector<double> &ws =
+        config_.features.skewAware ? skewWeights
+                                   : std::vector<double>{};
+
+    if (config_.features.globalOptimization)
+        return optimizer.optimize(predictedBw, ws, rvec);
+
+    // Local-only ablation: a static [1, M] range for every pair with
+    // achievable BWs scaled linearly, exactly the Fig. 8 baseline.
+    GlobalPlan plan;
+    plan.dcRel = Matrix<int>::square(n, 1);
+    plan.minCons = ConnMatrix::square(n, 1);
+    plan.maxCons = ConnMatrix::square(n, config_.global.maxConnections);
+    for (std::size_t i = 0; i < n; ++i)
+        plan.maxCons.at(i, i) = 1;
+    plan.minBw = predictedBw;
+    plan.maxBw = BwMatrix::square(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            plan.maxBw.at(i, j) =
+                predictedBw.at(i, j) *
+                static_cast<double>(plan.maxCons.at(i, j));
+        }
+    }
+    return plan;
+}
+
+std::vector<std::unique_ptr<LocalAgent>>
+Wanify::deployAgents(net::NetworkSim &sim, const GlobalPlan &plan,
+                     const BwMatrix &predictedBw)
+{
+    const std::size_t n = sim.topology().dcCount();
+    fatalIf(plan.minCons.rows() != n,
+            "deployAgents: plan/topology mismatch");
+
+    std::vector<std::unique_ptr<LocalAgent>> agents;
+    if (!config_.features.localOptimization) {
+        // Without agents, throttling can only be static: thresholds
+        // from the predicted per-pair BWs (row means), applied once.
+        if (config_.features.throttling)
+            throttle_.apply(sim, predictedBw);
+        return agents;
+    }
+    // With agents deployed, they own throttling end to end: thresholds
+    // are re-derived every epoch from monitored rates (Section 3.2.2,
+    // "Throttling BW") — dynamic throttling is what makes WANify-TC
+    // the best variant in Fig. 5.
+
+    agents.reserve(n);
+    for (net::DcId dc = 0; dc < n; ++dc) {
+        std::vector<Mbps> row(n, 0.0);
+        for (net::DcId j = 0; j < n; ++j)
+            row[j] = predictedBw.at(dc, j);
+        agents.push_back(std::make_unique<LocalAgent>(
+            sim, dc, plan, std::move(row), config_.aimd,
+            config_.features.throttling));
+    }
+    return agents;
+}
+
+void
+Wanify::clearThrottles(net::NetworkSim &sim)
+{
+    throttle_.clear(sim);
+}
+
+} // namespace core
+} // namespace wanify

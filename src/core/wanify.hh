@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The WANify facade (Section 4.1) — the interface GDA systems invoke
+ * (asynchronously in the paper; synchronously here, the simulator has no
+ * real concurrency to hide).
+ *
+ * Offline: train the WAN Prediction Model from Bandwidth Analyzer
+ * datasets. Online: snapshot the live network, predict the runtime BW
+ * matrix, run global optimization, install throttles, and hand local
+ * agents to the engine. Feature toggles allow the ablation variants of
+ * Fig. 5 and Fig. 8 (global-only, local-only, no throttling, uniform
+ * parallelism).
+ */
+
+#ifndef WANIFY_CORE_WANIFY_HH
+#define WANIFY_CORE_WANIFY_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/bandwidth_analyzer.hh"
+#include "core/drift.hh"
+#include "core/global_optimizer.hh"
+#include "core/heterogeneity.hh"
+#include "core/local_agent.hh"
+#include "core/predictor.hh"
+#include "core/throttle.hh"
+
+namespace wanify {
+namespace core {
+
+/** Which WANify mechanisms are active (ablation switches). */
+struct WanifyFeatures
+{
+    bool globalOptimization = true;
+    bool localOptimization = true;
+    bool throttling = true;
+
+    /** Use skew weights in global optimization (Section 3.3.1). */
+    bool skewAware = true;
+
+    /** Everything on (the paper's WANify-TC default). */
+    static WanifyFeatures all() { return {}; }
+
+    /** Global optimization only (Fig. 8 ablation). */
+    static WanifyFeatures globalOnly();
+
+    /** Local optimization only with static 1..M range (Fig. 8). */
+    static WanifyFeatures localOnly();
+};
+
+/** Facade configuration. */
+struct WanifyConfig
+{
+    WanifyFeatures features;
+    GlobalOptimizerConfig global;
+    AimdConfig aimd;
+    monitor::MeasurementConfig measurement;
+    ml::ForestConfig forest;
+    DriftConfig drift;
+};
+
+class Wanify
+{
+  public:
+    explicit Wanify(WanifyConfig config = {});
+
+    // --- offline module ---------------------------------------------------
+
+    /** Train the predictor with the Bandwidth Analyzer. */
+    void train(const AnalyzerConfig &analyzerCfg, std::uint64_t seed);
+
+    /** Adopt an externally trained predictor (shared across benches). */
+    void setPredictor(std::shared_ptr<const RuntimeBwPredictor> p);
+
+    bool trained() const;
+    const RuntimeBwPredictor &predictor() const;
+
+    // --- online module ----------------------------------------------------
+
+    /**
+     * Snapshot the live network and predict the runtime BW matrix
+     * (Runtime Bandwidth Determination, Section 4.1.2).
+     */
+    BwMatrix predictRuntimeBw(net::NetworkSim &sim, Rng &rng) const;
+
+    /**
+     * Global Optimizer (Section 4.1.2): plan heterogeneous connection
+     * ranges from a predicted BW matrix.
+     *
+     * @param skewWeights per-DC input-data skew weights (empty =
+     *                    uniform); ignored unless features.skewAware
+     * @param rvec        refactoring matrix (empty = identity)
+     */
+    GlobalPlan plan(const BwMatrix &predictedBw,
+                    const std::vector<double> &skewWeights = {},
+                    const Matrix<double> &rvec = {}) const;
+
+    /**
+     * Deploy on a live simulator: install throttles (if enabled) and
+     * create one local agent per DC. The caller drives the agents'
+     * onEpoch() at aimd.epoch intervals (the engine does this).
+     */
+    std::vector<std::unique_ptr<LocalAgent>>
+    deployAgents(net::NetworkSim &sim, const GlobalPlan &plan,
+                 const BwMatrix &predictedBw);
+
+    /** Remove installed throttles. */
+    void clearThrottles(net::NetworkSim &sim);
+
+    ModelDriftDetector &driftDetector() { return drift_; }
+    const WanifyConfig &config() const { return config_; }
+
+  private:
+    WanifyConfig config_;
+    std::shared_ptr<const RuntimeBwPredictor> predictor_;
+    ThrottleController throttle_;
+    ModelDriftDetector drift_;
+};
+
+} // namespace core
+} // namespace wanify
+
+#endif // WANIFY_CORE_WANIFY_HH

@@ -1,0 +1,104 @@
+#include "cost/cost_model.hh"
+
+#include "common/error.hh"
+
+namespace wanify {
+namespace cost {
+
+CostBreakdown &
+CostBreakdown::operator+=(const CostBreakdown &other)
+{
+    compute += other.compute;
+    network += other.network;
+    storage += other.storage;
+    return *this;
+}
+
+CostModel::CostModel(const net::Topology &topo, Pricing pricing)
+    : topo_(topo), pricing_(pricing)
+{}
+
+Dollars
+CostModel::vmComputeCost(net::VmId vm, Seconds seconds) const
+{
+    const net::VmType &type = topo_.vm(vm).type;
+    const Dollars perHour =
+        type.pricePerHour +
+        pricing_.burstPerVcpuHour * static_cast<double>(type.vcpus);
+    return perHour / units::kSecondsPerHour * seconds;
+}
+
+Dollars
+CostModel::clusterComputeCost(Seconds wallClockSeconds) const
+{
+    Dollars total = 0.0;
+    for (net::VmId v = 0; v < topo_.vmCount(); ++v)
+        total += vmComputeCost(v, wallClockSeconds);
+    return total;
+}
+
+Dollars
+CostModel::networkCost(const Matrix<Bytes> &bytesByPair) const
+{
+    fatalIf(bytesByPair.rows() != topo_.dcCount() ||
+                bytesByPair.cols() != topo_.dcCount(),
+            "networkCost: matrix shape mismatch");
+    Dollars total = 0.0;
+    for (net::DcId i = 0; i < topo_.dcCount(); ++i) {
+        for (net::DcId j = 0; j < topo_.dcCount(); ++j) {
+            if (i == j)
+                continue; // intra-region transfer is free
+            const double gb =
+                bytesByPair.at(i, j) / pricing_.bytesPerBilledGb;
+            total += gb * topo_.dc(i).region.egressPerGb;
+        }
+    }
+    return total;
+}
+
+Dollars
+CostModel::storageCost(double gb, Seconds seconds) const
+{
+    const double months =
+        seconds / (30.0 * 24.0 * units::kSecondsPerHour);
+    return gb * months * pricing_.storagePerGbMonth;
+}
+
+CostBreakdown
+CostModel::queryCost(Seconds wallClockSeconds,
+                     const Matrix<Bytes> &bytesByPair,
+                     double storedGb) const
+{
+    CostBreakdown breakdown;
+    breakdown.compute = clusterComputeCost(wallClockSeconds);
+    breakdown.network = networkCost(bytesByPair);
+    breakdown.storage = storageCost(storedGb, wallClockSeconds);
+    return breakdown;
+}
+
+Dollars
+annualMonitoringCost(const MonitoringCostParams &p)
+{
+    return p.occurrencesPerYear * static_cast<double>(p.nodes) *
+           (p.perInstanceSecond * p.duration + p.perInstanceNetwork);
+}
+
+double
+occurrencesPerYear(double intervalMinutes)
+{
+    fatalIf(intervalMinutes <= 0.0,
+            "occurrencesPerYear: interval must be positive");
+    return 365.0 * 24.0 * 60.0 / intervalMinutes;
+}
+
+Dollars
+monitoringNetworkCost(Mbps mbps, Seconds secs, Dollars pricePerGb)
+{
+    // Decimal accounting as billed: Mbps * s -> Mbit -> GB.
+    const double gigabits = mbps * secs / 1000.0;
+    const double gigabytes = gigabits / 8.0;
+    return gigabytes * pricePerGb;
+}
+
+} // namespace cost
+} // namespace wanify

@@ -1,0 +1,44 @@
+#include "experiments/predictor_factory.hh"
+
+#include "experiments/testbed.hh"
+
+namespace wanify {
+namespace experiments {
+
+core::AnalyzerConfig
+sharedAnalyzerConfig()
+{
+    core::AnalyzerConfig cfg;
+    cfg.clusterSizes = {2, 4, 6, 8};
+    cfg.meshesPerSize = 24;
+    cfg.sim = defaultSimConfig();
+    return cfg;
+}
+
+ml::ForestConfig
+sharedForestConfig()
+{
+    ml::ForestConfig cfg;
+    cfg.nEstimators = 100; // the paper's best setting
+    cfg.tree.maxDepth = 14;
+    cfg.bootstrapFraction = 0.8;
+    return cfg;
+}
+
+std::shared_ptr<const core::RuntimeBwPredictor>
+sharedPredictor()
+{
+    static std::shared_ptr<const core::RuntimeBwPredictor> cached = [] {
+        core::BandwidthAnalyzer analyzer(sharedAnalyzerConfig());
+        const ml::Dataset data = analyzer.collect(20250042);
+        auto predictor = std::make_shared<core::RuntimeBwPredictor>(
+            sharedForestConfig());
+        predictor->train(data, 20250043);
+        return std::shared_ptr<const core::RuntimeBwPredictor>(
+            std::move(predictor));
+    }();
+    return cached;
+}
+
+} // namespace experiments
+} // namespace wanify

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Process-wide trained predictor cache.
+ *
+ * Several benches and the quickstart need a trained WAN Prediction
+ * Model; training one takes a few seconds of Bandwidth Analyzer
+ * collection plus forest fitting, so the factory trains once per
+ * process (fixed seed — deterministic) and hands out shared pointers.
+ */
+
+#ifndef WANIFY_EXPERIMENTS_PREDICTOR_FACTORY_HH
+#define WANIFY_EXPERIMENTS_PREDICTOR_FACTORY_HH
+
+#include <memory>
+
+#include "core/bandwidth_analyzer.hh"
+#include "core/predictor.hh"
+
+namespace wanify {
+namespace experiments {
+
+/** Analyzer configuration used for the shared predictor. */
+core::AnalyzerConfig sharedAnalyzerConfig();
+
+/** Forest configuration used for the shared predictor. */
+ml::ForestConfig sharedForestConfig();
+
+/**
+ * The process-wide predictor, trained lazily with a fixed seed.
+ * Thread-compatible (benches are single-threaded).
+ */
+std::shared_ptr<const core::RuntimeBwPredictor> sharedPredictor();
+
+} // namespace experiments
+} // namespace wanify
+
+#endif // WANIFY_EXPERIMENTS_PREDICTOR_FACTORY_HH

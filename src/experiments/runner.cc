@@ -1,0 +1,52 @@
+#include "experiments/runner.hh"
+
+#include <cstdio>
+
+#include "common/stats.hh"
+
+namespace wanify {
+namespace experiments {
+
+Aggregate
+aggregate(const std::vector<gda::QueryResult> &results)
+{
+    std::vector<double> latency, costTotal, minBw;
+    latency.reserve(results.size());
+    for (const auto &r : results) {
+        latency.push_back(r.latency);
+        costTotal.push_back(r.cost.total());
+        minBw.push_back(r.minObservedBw);
+    }
+    Aggregate agg;
+    agg.trials = results.size();
+    agg.meanLatency = stats::mean(latency);
+    agg.seLatency = stats::stderrOfMean(latency);
+    agg.meanCost = stats::mean(costTotal);
+    agg.seCost = stats::stderrOfMean(costTotal);
+    agg.meanMinBw = stats::mean(minBw);
+    agg.seMinBw = stats::stderrOfMean(minBw);
+    return agg;
+}
+
+Aggregate
+runTrials(const TrialFn &fn, std::size_t trials, std::uint64_t baseSeed)
+{
+    std::vector<gda::QueryResult> results;
+    results.reserve(trials);
+    for (std::size_t t = 0; t < trials; ++t)
+        results.push_back(fn(baseSeed + 7919 * t));
+    return aggregate(results);
+}
+
+std::string
+formatDuration(double seconds)
+{
+    const int mins = static_cast<int>(seconds) / 60;
+    const int secs = static_cast<int>(seconds) % 60;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%dm %02ds", mins, secs);
+    return buf;
+}
+
+} // namespace experiments
+} // namespace wanify

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Repeated-trial runner: the paper reports every result as the mean of
+ * 5 runs with standard-error bars; this helper runs a query closure
+ * across seeds and aggregates latency, cost, and minimum BW the same
+ * way.
+ */
+
+#ifndef WANIFY_EXPERIMENTS_RUNNER_HH
+#define WANIFY_EXPERIMENTS_RUNNER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gda/engine.hh"
+
+namespace wanify {
+namespace experiments {
+
+/** Aggregated trial statistics. */
+struct Aggregate
+{
+    double meanLatency = 0.0;
+    double seLatency = 0.0;
+    double meanCost = 0.0;
+    double seCost = 0.0;
+    double meanMinBw = 0.0;
+    double seMinBw = 0.0;
+    std::size_t trials = 0;
+};
+
+/** A closure producing one QueryResult per seed. */
+using TrialFn = std::function<gda::QueryResult(std::uint64_t seed)>;
+
+/** Run @p trials seeds (paper default 5) and aggregate. */
+Aggregate runTrials(const TrialFn &fn, std::size_t trials = 5,
+                    std::uint64_t baseSeed = 1000);
+
+/** Aggregate pre-computed results. */
+Aggregate aggregate(const std::vector<gda::QueryResult> &results);
+
+/** Format seconds as "Xm Ys" for bench tables. */
+std::string formatDuration(double seconds);
+
+} // namespace experiments
+} // namespace wanify
+
+#endif // WANIFY_EXPERIMENTS_RUNNER_HH

@@ -1,0 +1,75 @@
+#include "experiments/testbed.hh"
+
+#include "net/region.hh"
+#include "net/vm.hh"
+
+namespace wanify {
+namespace experiments {
+
+using net::RegionCatalog;
+using net::Topology;
+using net::TopologyBuilder;
+using net::VmTypeCatalog;
+
+Topology
+workerCluster(std::size_t n, std::size_t vmsPerDc)
+{
+    return TopologyBuilder::paperTestbed(
+        n, VmTypeCatalog::t2medium(), vmsPerDc);
+}
+
+Topology
+monitoringCluster(std::size_t n)
+{
+    return TopologyBuilder::paperTestbed(n, VmTypeCatalog::t3nano(), 1);
+}
+
+Topology
+fig2Cluster()
+{
+    TopologyBuilder builder;
+    const auto &regions = RegionCatalog::all();
+    builder.addDc(regions[RegionCatalog::UsEast],
+                  VmTypeCatalog::t3nano());
+    builder.addDc(regions[RegionCatalog::UsWest],
+                  VmTypeCatalog::t3nano());
+    builder.addDc(regions[RegionCatalog::ApSoutheast],
+                  VmTypeCatalog::t3nano());
+    return builder.build();
+}
+
+net::NetworkSimConfig
+defaultSimConfig()
+{
+    net::NetworkSimConfig cfg;
+    cfg.fluctuation.enabled = true;
+    return cfg;
+}
+
+net::NetworkSimConfig
+quietSimConfig()
+{
+    net::NetworkSimConfig cfg;
+    cfg.fluctuation.enabled = false;
+    return cfg;
+}
+
+std::vector<double>
+naturalInputFractions(std::size_t n)
+{
+    // US East (ingest/master) heaviest, EU next, APAC lighter.
+    static const double weights[8] = {1.8, 1.1, 0.7, 0.6,
+                                      0.6, 0.8, 1.4, 1.0};
+    std::vector<double> fractions(n, 1.0);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        fractions[i] = weights[i % 8];
+        sum += fractions[i];
+    }
+    for (auto &f : fractions)
+        f /= sum;
+    return fractions;
+}
+
+} // namespace experiments
+} // namespace wanify

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Standard testbeds and simulator configurations shared by the bench
+ * binaries and integration tests, mirroring Section 5.1's setup: 8 AWS
+ * DCs over VPC peering, t2.medium workers (t2.large master co-resident
+ * in US East), t3.nano monitoring probes, and the 3-DC motivation
+ * subset of Fig. 2 (two nearby DCs + one distant).
+ */
+
+#ifndef WANIFY_EXPERIMENTS_TESTBED_HH
+#define WANIFY_EXPERIMENTS_TESTBED_HH
+
+#include <cstdint>
+
+#include "net/network_sim.hh"
+#include "net/topology.hh"
+
+namespace wanify {
+namespace experiments {
+
+/** The paper's n-DC worker cluster (t2.medium everywhere). */
+net::Topology workerCluster(std::size_t n = 8,
+                            std::size_t vmsPerDc = 1);
+
+/** Monitoring cluster: t3.nano probes, 1 per DC. */
+net::Topology monitoringCluster(std::size_t n = 8);
+
+/**
+ * Fig. 2's 3-DC subset: DC1 = US East, DC2 = US West (nearby pair),
+ * DC3 = AP SE Singapore (distant from both), t3.nano probes.
+ */
+net::Topology fig2Cluster();
+
+/** Default simulator configuration (fluctuation on). */
+net::NetworkSimConfig defaultSimConfig();
+
+/** Simulator configuration with fluctuation disabled. */
+net::NetworkSimConfig quietSimConfig();
+
+/**
+ * Realistic non-uniform input distribution for the TPC-DS experiments:
+ * ingest lands heaviest where the master/HDFS namenode lives (US East)
+ * and lighter in the APAC regions — the default block placement the
+ * paper's Section 5.1 setup produces. Normalized to sum to 1.
+ */
+std::vector<double> naturalInputFractions(std::size_t n);
+
+} // namespace experiments
+} // namespace wanify
+
+#endif // WANIFY_EXPERIMENTS_TESTBED_HH

@@ -1,0 +1,254 @@
+#include "gda/engine.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hh"
+#include "common/logging.hh"
+
+namespace wanify {
+namespace gda {
+
+using net::DcId;
+using net::NetworkSim;
+using net::TransferId;
+using net::VmId;
+
+namespace {
+
+constexpr Bytes kMinAccountedBytes = 1024.0 * 1024.0; // 1 MB
+
+/** First VM of a DC carries that DC's shuffle endpoints. */
+VmId
+endpointVm(const net::Topology &topo, DcId dc)
+{
+    panicIf(topo.dc(dc).vms.empty(), "engine: DC without VMs");
+    return topo.dc(dc).vms.front();
+}
+
+} // namespace
+
+Engine::Engine(net::Topology topo, net::NetworkSimConfig simCfg,
+               std::uint64_t seed)
+    : topo_(std::move(topo)), simCfg_(simCfg), seed_(seed)
+{}
+
+StageContext
+Engine::makeContext(const JobSpec &job, std::size_t stageIdx,
+                    const std::vector<Bytes> &inputByDc,
+                    const Matrix<Mbps> &bw) const
+{
+    StageContext ctx;
+    ctx.topo = &topo_;
+    ctx.bw = &bw;
+    ctx.inputByDc = inputByDc;
+    ctx.stage = &job.stages[stageIdx];
+    ctx.stageIndex = stageIdx;
+
+    const std::size_t n = topo_.dcCount();
+    ctx.computeRate.assign(n, 0.0);
+    ctx.egressPrice.assign(n, 0.0);
+    for (DcId dc = 0; dc < n; ++dc) {
+        for (VmId v : topo_.dc(dc).vms)
+            ctx.computeRate[dc] += topo_.vm(v).type.computeRate;
+        ctx.egressPrice[dc] = topo_.dc(dc).region.egressPerGb;
+    }
+    return ctx;
+}
+
+QueryResult
+Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
+            Scheduler &scheduler, const RunOptions &opts)
+{
+    const std::size_t n = topo_.dcCount();
+    fatalIf(job.stages.empty(), "Engine::run: job has no stages");
+    fatalIf(inputByDc.size() != n,
+            "Engine::run: input distribution size mismatch");
+    fatalIf(opts.schedulerBw.rows() != n ||
+                opts.schedulerBw.cols() != n,
+            "Engine::run: scheduler BW matrix shape mismatch");
+
+    std::uint64_t runSeed = seed_ + 0x9e37 * (++runCounter_);
+    NetworkSim sim(topo_, simCfg_, runSeed);
+    Rng rng(runSeed ^ 0xc0ffee);
+
+    // --- WANify deployment (Section 4.1) ---------------------------------
+    core::GlobalPlan plan;
+    std::vector<std::unique_ptr<core::LocalAgent>> agents;
+    Seconds epoch = 1.0;
+    if (opts.wanify != nullptr) {
+        Matrix<Mbps> predicted;
+        if (opts.predictedBwOverride.has_value()) {
+            predicted = *opts.predictedBwOverride;
+        } else {
+            predicted = opts.wanify->predictRuntimeBw(sim, rng);
+        }
+        plan = opts.wanify->plan(predicted, opts.skewWeights,
+                                 opts.rvec);
+        agents = opts.wanify->deployAgents(sim, plan, predicted);
+        epoch = opts.wanify->config().aimd.epoch;
+    }
+
+    auto connectionsFor = [&](DcId i, DcId j) -> int {
+        if (!agents.empty())
+            return 1; // agents overwrite via applyTargets()
+        if (opts.wanify != nullptr &&
+            opts.wanify->config().features.globalOptimization) {
+            // Global-only ablation: fixed at the plan's maximum.
+            return plan.maxCons.at(i, j);
+        }
+        if (!opts.staticConnections.empty())
+            return std::max(1, opts.staticConnections.at(i, j));
+        return 1;
+    };
+
+    QueryResult result;
+    result.wanBytesByPair = Matrix<Bytes>::square(n, 0.0);
+    Matrix<Bytes> bytesAtStart = Matrix<Bytes>::square(n, 0.0);
+    for (DcId i = 0; i < n; ++i)
+        for (DcId j = 0; j < n; ++j)
+            bytesAtStart.at(i, j) = sim.pairBytes(i, j);
+
+    const Seconds jobStart = sim.now();
+    std::vector<Bytes> stageInput = inputByDc;
+    bool sawWanTraffic = false;
+
+    for (std::size_t s = 0; s < job.stages.size(); ++s) {
+        const StageSpec &spec = job.stages[s];
+        StageResult stageResult;
+        stageResult.name = spec.name;
+        stageResult.start = sim.now();
+
+        const StageContext ctx =
+            makeContext(job, s, stageInput, opts.schedulerBw);
+        const Matrix<Bytes> assignment = scheduler.placeStage(ctx);
+        fatalIf(assignment.rows() != n || assignment.cols() != n,
+                "Engine::run: scheduler assignment shape mismatch");
+
+        // --- shuffle phase ------------------------------------------------
+        struct PendingTransfer
+        {
+            DcId src, dst;
+            Bytes bytes;
+            Seconds done = 0.0;
+        };
+        std::map<TransferId, PendingTransfer> pending;
+        for (DcId i = 0; i < n; ++i) {
+            for (DcId j = 0; j < n; ++j) {
+                const Bytes bytes = assignment.at(i, j);
+                if (i == j || bytes < 1.0)
+                    continue;
+                const TransferId id = sim.startTransfer(
+                    endpointVm(topo_, i), endpointVm(topo_, j),
+                    bytes, connectionsFor(i, j));
+                pending[id] = {i, j, bytes, 0.0};
+            }
+        }
+        for (auto &agent : agents) {
+            agent->applyTargets();
+            agent->resetWindow();
+        }
+
+        const Seconds shuffleStart = sim.now();
+        Seconds nextEpoch = shuffleStart + epoch;
+        const Seconds guardEnd = shuffleStart + opts.maxStageSeconds;
+
+        while (!sim.allTransfersDone()) {
+            const Seconds target = std::min(nextEpoch, guardEnd);
+            sim.runUntilAllComplete(target);
+            if (sim.allTransfersDone())
+                break;
+            if (sim.now() >= guardEnd) {
+                logging::warn("stage '" + spec.name +
+                              "' hit the per-stage guard");
+                // Abort stragglers so they cannot leak into later
+                // stages; they are billed as if finishing now.
+                for (const auto &[id, t] : pending)
+                    sim.stopTransfer(id);
+                break;
+            }
+            for (auto &agent : agents)
+                agent->onEpoch();
+            nextEpoch += epoch;
+        }
+
+        // Collect completion times per transfer.
+        for (const auto &rec : sim.drainCompletions()) {
+            auto it = pending.find(rec.id);
+            if (it != pending.end())
+                it->second.done = rec.time;
+        }
+
+        // Min pair BW: the paper's "minimum BW of the cluster" — the
+        // slowest pair's average achieved rate over its active period.
+        std::vector<Seconds> transferDone(n, shuffleStart);
+        Mbps minPairBw = 0.0;
+        for (const auto &[id, t] : pending) {
+            const Seconds done = t.done > 0.0 ? t.done : sim.now();
+            transferDone[t.dst] = std::max(transferDone[t.dst], done);
+            stageResult.wanBytes += t.bytes;
+            if (t.bytes >= kMinAccountedBytes) {
+                const Seconds duration =
+                    std::max(1.0e-6, done - shuffleStart);
+                const Mbps avg = units::rateFor(t.bytes, duration);
+                minPairBw = minPairBw == 0.0
+                                ? avg
+                                : std::min(minPairBw, avg);
+            }
+        }
+        stageResult.minPairBw = minPairBw;
+        stageResult.transferEnd = sim.now();
+        if (minPairBw > 0.0) {
+            sawWanTraffic = true;
+            result.minObservedBw =
+                result.minObservedBw == 0.0
+                    ? minPairBw
+                    : std::min(result.minObservedBw, minPairBw);
+        }
+
+        // --- compute phase ------------------------------------------------
+        std::vector<Bytes> nextInput(n, 0.0);
+        Seconds stageEnd = sim.now();
+        for (DcId j = 0; j < n; ++j) {
+            Bytes atJ = 0.0;
+            for (DcId i = 0; i < n; ++i)
+                atJ += assignment.at(i, j);
+            const double rate = std::max(1.0e-9, ctx.computeRate[j]);
+            const Seconds compute =
+                units::toMegabytes(atJ) * spec.workPerMb / rate;
+            stageEnd = std::max(stageEnd, transferDone[j] + compute);
+            nextInput[j] = atJ * spec.selectivity;
+        }
+        if (stageEnd > sim.now())
+            sim.advanceBy(stageEnd - sim.now());
+        stageResult.end = sim.now();
+
+        result.stages.push_back(stageResult);
+        stageInput = std::move(nextInput);
+    }
+
+    if (opts.wanify != nullptr)
+        opts.wanify->clearThrottles(sim);
+
+    result.latency = sim.now() - jobStart;
+    for (DcId i = 0; i < n; ++i) {
+        for (DcId j = 0; j < n; ++j) {
+            if (i == j)
+                continue;
+            result.wanBytesByPair.at(i, j) =
+                sim.pairBytes(i, j) - bytesAtStart.at(i, j);
+        }
+    }
+
+    const cost::CostModel costModel(topo_);
+    result.cost = costModel.queryCost(
+        result.latency, result.wanBytesByPair,
+        units::toGigabytes(job.inputBytes));
+
+    if (!sawWanTraffic)
+        result.minObservedBw = 0.0;
+    return result;
+}
+
+} // namespace gda
+} // namespace wanify

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * GDA execution engine: runs a job stage by stage against the WAN
+ * simulator.
+ *
+ * Per stage: the scheduler picks an assignment (where each DC's resident
+ * input is processed), the engine opens one WAN transfer per
+ * off-diagonal assignment cell, drives the network simulator — waking
+ * WANify's local agents every AIMD epoch when WANify is deployed — and
+ * finally advances through the compute phase whose duration depends on
+ * each DC's aggregate compute rate. Job completion time is gated by the
+ * slowest DC, which is gated by the weakest WAN link: exactly the
+ * coupling the paper exploits.
+ *
+ * The engine reports latency, the cost breakdown (compute incl. burst
+ * surcharge, network egress, storage) and the minimum per-pair average
+ * shuffle BW — the paper's three headline metrics.
+ */
+
+#ifndef WANIFY_GDA_ENGINE_HH
+#define WANIFY_GDA_ENGINE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/wanify.hh"
+#include "cost/cost_model.hh"
+#include "gda/job.hh"
+#include "gda/scheduler.hh"
+#include "net/network_sim.hh"
+
+namespace wanify {
+namespace gda {
+
+/** Per-stage outcome. */
+struct StageResult
+{
+    std::string name;
+    Seconds start = 0.0;
+    Seconds transferEnd = 0.0;
+    Seconds end = 0.0;
+    Bytes wanBytes = 0.0;
+
+    /** Min average pair BW among pairs moving >= 1 MB (0 if none). */
+    Mbps minPairBw = 0.0;
+};
+
+/** Whole-query outcome. */
+struct QueryResult
+{
+    Seconds latency = 0.0;
+    cost::CostBreakdown cost;
+
+    /** Min observed shuffle BW across stages (the paper's "minimum
+     *  BW of the cluster"; 0 if the job moved no WAN data). */
+    Mbps minObservedBw = 0.0;
+
+    std::vector<StageResult> stages;
+    Matrix<Bytes> wanBytesByPair;
+};
+
+/** Per-run options — the experiment variables. */
+struct RunOptions
+{
+    /** BW matrix the *scheduler* believes (the Table 4 variable). */
+    Matrix<Mbps> schedulerBw;
+
+    /**
+     * Deploy WANify (plan + agents + throttles per its feature set).
+     * Null = plain data transfer with staticConnections.
+     */
+    core::Wanify *wanify = nullptr;
+
+    /**
+     * Predicted BW matrix for WANify planning; empty = let WANify
+     * snapshot-and-predict on the live sim. Fig. 8(b) injects errors
+     * here.
+     */
+    std::optional<Matrix<Mbps>> predictedBwOverride;
+
+    /** Static connection counts when WANify is absent (empty = 1). */
+    Matrix<int> staticConnections;
+
+    /** Skew weights forwarded to WANify's global optimizer. */
+    std::vector<double> skewWeights;
+
+    /** Refactoring matrix forwarded to WANify (empty = identity). */
+    Matrix<double> rvec;
+
+    /** Safety cap per stage. */
+    Seconds maxStageSeconds = 6.0 * 3600.0;
+};
+
+class Engine
+{
+  public:
+    Engine(net::Topology topo, net::NetworkSimConfig simCfg = {},
+           std::uint64_t seed = 1);
+
+    /**
+     * Execute @p job whose input is distributed as @p inputByDc, using
+     * @p scheduler for placement under @p opts.
+     */
+    QueryResult run(const JobSpec &job,
+                    const std::vector<Bytes> &inputByDc,
+                    Scheduler &scheduler, const RunOptions &opts);
+
+    const net::Topology &topology() const { return topo_; }
+
+  private:
+    StageContext makeContext(const JobSpec &job, std::size_t stageIdx,
+                             const std::vector<Bytes> &inputByDc,
+                             const Matrix<Mbps> &bw) const;
+
+    net::Topology topo_;
+    net::NetworkSimConfig simCfg_;
+    std::uint64_t seed_;
+    std::uint64_t runCounter_ = 0;
+};
+
+} // namespace gda
+} // namespace wanify
+
+#endif // WANIFY_GDA_ENGINE_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * GDA job model: a chain of stages with per-stage selectivity and
+ * compute density, the abstraction level at which the paper's
+ * schedulers operate. A stage consumes the (geo-distributed) output of
+ * its predecessor, redistributes it according to the scheduler's
+ * placement (the shuffle), and produces output scaled by its
+ * selectivity.
+ */
+
+#ifndef WANIFY_GDA_JOB_HH
+#define WANIFY_GDA_JOB_HH
+
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace wanify {
+namespace gda {
+
+/** One stage of a job. */
+struct StageSpec
+{
+    std::string name;
+
+    /** Output bytes per input byte. */
+    double selectivity = 1.0;
+
+    /** Compute work (units) per MB of stage input. */
+    double workPerMb = 0.1;
+
+    /**
+     * Whether the scheduler may move this stage's input across DCs.
+     * First stages read block-resident input (movable at migration
+     * cost); later stages always shuffle.
+     */
+    bool allowsPlacement = true;
+};
+
+/** A complete job. */
+struct JobSpec
+{
+    std::string name;
+    std::vector<StageSpec> stages;
+
+    /** Total input bytes (distribution comes from the HDFS store). */
+    Bytes inputBytes = 0.0;
+};
+
+} // namespace gda
+} // namespace wanify
+
+#endif // WANIFY_GDA_JOB_HH

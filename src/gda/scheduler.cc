@@ -1,0 +1,103 @@
+#include "gda/scheduler.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+
+namespace wanify {
+namespace gda {
+
+Seconds
+estimateStageTime(const StageContext &ctx,
+                  const Matrix<Bytes> &assignment)
+{
+    panicIf(ctx.topo == nullptr || ctx.bw == nullptr ||
+                ctx.stage == nullptr,
+            "estimateStageTime: incomplete context");
+    const std::size_t n = ctx.topo->dcCount();
+    fatalIf(assignment.rows() != n || assignment.cols() != n,
+            "estimateStageTime: assignment shape mismatch");
+
+    // Aggregate WAN capacity per DC (first VM's throttle; transfers
+    // into/out of a DC share its NIC no matter what the per-pair BW
+    // says).
+    std::vector<Mbps> wanCap(n, 1.0);
+    for (std::size_t d = 0; d < n; ++d) {
+        const auto &vms = ctx.topo->dc(d).vms;
+        if (!vms.empty())
+            wanCap[d] = ctx.topo->vm(vms.front()).type.wanCapMbps;
+    }
+
+    // Per destination: slowest inbound link (transfers overlap),
+    // floored by the aggregate ingress time, plus local compute on
+    // everything assigned there. Egress aggregation is folded in via
+    // the source side of the same pass.
+    std::vector<Bytes> outBytes(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            if (i != j)
+                outBytes[i] += assignment.at(i, j);
+
+    Seconds worst = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+        Seconds slowestIn = 0.0;
+        Bytes atJ = 0.0;
+        Bytes inbound = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const Bytes bytes = assignment.at(i, j);
+            atJ += bytes;
+            if (i == j || bytes <= 0.0)
+                continue;
+            inbound += bytes;
+            const Mbps bw = std::max(1.0, ctx.bw->at(i, j));
+            slowestIn =
+                std::max(slowestIn, units::transferTime(bytes, bw));
+        }
+        const Seconds aggregateIn =
+            units::transferTime(inbound, wanCap[j]);
+        const Seconds aggregateOut =
+            units::transferTime(outBytes[j], wanCap[j]);
+        const Seconds network =
+            std::max({slowestIn, aggregateIn, aggregateOut});
+        const double rate = std::max(1.0e-9, ctx.computeRate[j]);
+        const Seconds compute =
+            units::toMegabytes(atJ) * ctx.stage->workPerMb / rate;
+        worst = std::max(worst, network + compute);
+    }
+    return worst;
+}
+
+Dollars
+estimateStageCost(const StageContext &ctx,
+                  const Matrix<Bytes> &assignment)
+{
+    panicIf(ctx.topo == nullptr, "estimateStageCost: missing topology");
+    const std::size_t n = ctx.topo->dcCount();
+    Dollars total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            if (i == j)
+                continue;
+            const double gb = assignment.at(i, j) / 1.0e9;
+            total += gb * ctx.egressPrice[i];
+        }
+    }
+    return total;
+}
+
+Matrix<Bytes>
+assignmentFromFractions(const std::vector<Bytes> &inputByDc,
+                        const std::vector<double> &fractions)
+{
+    const std::size_t n = inputByDc.size();
+    fatalIf(fractions.size() != n,
+            "assignmentFromFractions: size mismatch");
+    Matrix<Bytes> a = Matrix<Bytes>::square(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            a.at(i, j) = inputByDc[i] * fractions[j];
+    return a;
+}
+
+} // namespace gda
+} // namespace wanify

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Scheduler interface: where a stage's work runs and hence which bytes
+ * cross which WAN links.
+ *
+ * A scheduler receives the stage context — the current geo-distribution
+ * of the stage's input, the BW matrix it *believes* (static-independent,
+ * static-simultaneous, or WANify-predicted: the experiment variable of
+ * Table 4), compute rates, and egress prices — and returns the
+ * assignment matrix A where A(i, j) is the bytes of input resident at
+ * DC i to be processed at DC j. Off-diagonal entries become WAN
+ * transfers.
+ */
+
+#ifndef WANIFY_GDA_SCHEDULER_HH
+#define WANIFY_GDA_SCHEDULER_HH
+
+#include <string>
+#include <vector>
+
+#include "common/matrix.hh"
+#include "common/units.hh"
+#include "gda/job.hh"
+#include "net/topology.hh"
+
+namespace wanify {
+namespace gda {
+
+/** Everything a scheduler may consider for one stage. */
+struct StageContext
+{
+    const net::Topology *topo = nullptr;
+
+    /** BW matrix the scheduler believes (Mbps). */
+    const Matrix<Mbps> *bw = nullptr;
+
+    /** Stage input bytes currently resident per DC. */
+    std::vector<Bytes> inputByDc;
+
+    /** Aggregate compute rate per DC (work units / s). */
+    std::vector<double> computeRate;
+
+    /** Egress price per DC ($ / GB). */
+    std::vector<Dollars> egressPrice;
+
+    const StageSpec *stage = nullptr;
+    std::size_t stageIndex = 0;
+};
+
+/** Estimated completion time of an assignment under the believed BW. */
+Seconds estimateStageTime(const StageContext &ctx,
+                          const Matrix<Bytes> &assignment);
+
+/** Egress cost ($) of an assignment. */
+Dollars estimateStageCost(const StageContext &ctx,
+                          const Matrix<Bytes> &assignment);
+
+/** Assignment from per-destination fractions: A(i,j) = in_i * r_j. */
+Matrix<Bytes> assignmentFromFractions(const std::vector<Bytes> &inputByDc,
+                                      const std::vector<double> &fractions);
+
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Decide the stage assignment matrix. */
+    virtual Matrix<Bytes> placeStage(const StageContext &ctx) = 0;
+};
+
+} // namespace gda
+} // namespace wanify
+
+#endif // WANIFY_GDA_SCHEDULER_HH

@@ -1,0 +1,229 @@
+#include "ml/decision_tree.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/error.hh"
+
+namespace wanify {
+namespace ml {
+
+DecisionTreeRegressor::DecisionTreeRegressor(TreeConfig config)
+    : config_(config)
+{}
+
+void
+DecisionTreeRegressor::fit(const Dataset &data, Rng &rng)
+{
+    std::vector<std::size_t> all(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i)
+        all[i] = i;
+    fit(data, all, rng);
+}
+
+void
+DecisionTreeRegressor::fit(const Dataset &data,
+                           const std::vector<std::size_t> &sampleIndices,
+                           Rng &rng)
+{
+    fatalIf(data.empty(), "DecisionTreeRegressor::fit: empty dataset");
+    fatalIf(sampleIndices.empty(),
+            "DecisionTreeRegressor::fit: no sample indices");
+    featureCount_ = data.featureCount();
+    outputCount_ = data.outputCount();
+    nodes_.clear();
+    featureGains_.assign(featureCount_, 0.0);
+
+    std::vector<std::size_t> indices = sampleIndices;
+    build(data, indices, 0, rng);
+}
+
+std::vector<double>
+DecisionTreeRegressor::meanTarget(
+    const Dataset &data, const std::vector<std::size_t> &indices) const
+{
+    std::vector<double> mean(outputCount_, 0.0);
+    for (std::size_t i : indices) {
+        const auto &y = data.y(i);
+        for (std::size_t k = 0; k < outputCount_; ++k)
+            mean[k] += y[k];
+    }
+    for (auto &m : mean)
+        m /= static_cast<double>(indices.size());
+    return mean;
+}
+
+DecisionTreeRegressor::SplitResult
+DecisionTreeRegressor::bestSplit(const Dataset &data,
+                                 const std::vector<std::size_t> &indices,
+                                 Rng &rng) const
+{
+    SplitResult best;
+    const std::size_t n = indices.size();
+    if (n < config_.minSamplesSplit)
+        return best;
+
+    // Parent SSE via sum and sum of squares, per output.
+    std::vector<double> sum(outputCount_, 0.0);
+    std::vector<double> sumSq(outputCount_, 0.0);
+    for (std::size_t i : indices) {
+        const auto &y = data.y(i);
+        for (std::size_t k = 0; k < outputCount_; ++k) {
+            sum[k] += y[k];
+            sumSq[k] += y[k] * y[k];
+        }
+    }
+    double parentSse = 0.0;
+    for (std::size_t k = 0; k < outputCount_; ++k) {
+        parentSse +=
+            sumSq[k] - sum[k] * sum[k] / static_cast<double>(n);
+    }
+    if (parentSse <= 1.0e-12)
+        return best; // pure node
+
+    // Candidate features (all, or a random subset for feature bagging).
+    std::vector<std::size_t> features;
+    if (config_.maxFeatures == 0 ||
+        config_.maxFeatures >= featureCount_) {
+        features.resize(featureCount_);
+        for (std::size_t f = 0; f < featureCount_; ++f)
+            features[f] = f;
+    } else {
+        features = rng.sampleWithoutReplacement(featureCount_,
+                                                config_.maxFeatures);
+    }
+
+    std::vector<std::size_t> sorted(indices);
+    std::vector<double> leftSum(outputCount_);
+    std::vector<double> leftSumSq(outputCount_);
+
+    for (std::size_t f : features) {
+        std::sort(sorted.begin(), sorted.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return data.x(a)[f] < data.x(b)[f];
+                  });
+        std::fill(leftSum.begin(), leftSum.end(), 0.0);
+        std::fill(leftSumSq.begin(), leftSumSq.end(), 0.0);
+
+        for (std::size_t pos = 0; pos + 1 < n; ++pos) {
+            const auto &y = data.y(sorted[pos]);
+            for (std::size_t k = 0; k < outputCount_; ++k) {
+                leftSum[k] += y[k];
+                leftSumSq[k] += y[k] * y[k];
+            }
+            const double xHere = data.x(sorted[pos])[f];
+            const double xNext = data.x(sorted[pos + 1])[f];
+            if (xNext <= xHere)
+                continue; // ties: no valid threshold between equal values
+
+            const std::size_t nl = pos + 1;
+            const std::size_t nr = n - nl;
+            if (nl < config_.minSamplesLeaf ||
+                nr < config_.minSamplesLeaf)
+                continue;
+
+            double childSse = 0.0;
+            for (std::size_t k = 0; k < outputCount_; ++k) {
+                const double rs = sum[k] - leftSum[k];
+                const double rss = sumSq[k] - leftSumSq[k];
+                childSse += leftSumSq[k] -
+                            leftSum[k] * leftSum[k] /
+                                static_cast<double>(nl);
+                childSse +=
+                    rss - rs * rs / static_cast<double>(nr);
+            }
+            const double gain = parentSse - childSse;
+            if (gain > best.gain + 1.0e-12) {
+                best.found = true;
+                best.feature = f;
+                best.threshold = 0.5 * (xHere + xNext);
+                best.gain = gain;
+            }
+        }
+    }
+    return best;
+}
+
+int
+DecisionTreeRegressor::build(const Dataset &data,
+                             std::vector<std::size_t> &indices,
+                             std::size_t depth, Rng &rng)
+{
+    const int nodeIdx = static_cast<int>(nodes_.size());
+    nodes_.emplace_back();
+
+    SplitResult split;
+    if (depth < config_.maxDepth)
+        split = bestSplit(data, indices, rng);
+
+    if (!split.found) {
+        nodes_[nodeIdx].leafValue = meanTarget(data, indices);
+        return nodeIdx;
+    }
+
+    featureGains_[split.feature] += split.gain;
+
+    std::vector<std::size_t> left, right;
+    left.reserve(indices.size());
+    right.reserve(indices.size());
+    for (std::size_t i : indices) {
+        if (data.x(i)[split.feature] <= split.threshold)
+            left.push_back(i);
+        else
+            right.push_back(i);
+    }
+    panicIf(left.empty() || right.empty(),
+            "DecisionTree: degenerate split");
+
+    indices.clear();
+    indices.shrink_to_fit();
+
+    nodes_[nodeIdx].feature = static_cast<int>(split.feature);
+    nodes_[nodeIdx].threshold = split.threshold;
+    nodes_[nodeIdx].left = build(data, left, depth + 1, rng);
+    nodes_[nodeIdx].right = build(data, right, depth + 1, rng);
+    return nodeIdx;
+}
+
+std::vector<double>
+DecisionTreeRegressor::predict(const std::vector<double> &x) const
+{
+    panicIf(nodes_.empty(), "DecisionTree::predict before fit");
+    fatalIf(x.size() != featureCount_,
+            "DecisionTree::predict: feature count mismatch");
+    int idx = 0;
+    while (nodes_[static_cast<std::size_t>(idx)].feature >= 0) {
+        const Node &node = nodes_[static_cast<std::size_t>(idx)];
+        idx = x[static_cast<std::size_t>(node.feature)] <= node.threshold
+                  ? node.left
+                  : node.right;
+    }
+    return nodes_[static_cast<std::size_t>(idx)].leafValue;
+}
+
+double
+DecisionTreeRegressor::predictScalar(const std::vector<double> &x) const
+{
+    const auto y = predict(x);
+    panicIf(y.size() != 1, "predictScalar on multi-output tree");
+    return y[0];
+}
+
+std::size_t
+DecisionTreeRegressor::depth() const
+{
+    if (nodes_.empty())
+        return 0;
+    // Iterative depth computation over the node array.
+    std::function<std::size_t(int)> walk = [&](int idx) -> std::size_t {
+        const Node &node = nodes_[static_cast<std::size_t>(idx)];
+        if (node.feature < 0)
+            return 1;
+        return 1 + std::max(walk(node.left), walk(node.right));
+    };
+    return walk(0);
+}
+
+} // namespace ml
+} // namespace wanify

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * CART regression tree with multi-output leaves.
+ *
+ * Splits minimize the summed (over outputs) within-node sum of squared
+ * errors; leaves predict the mean target vector of their training
+ * samples. Trees are robust to the outliers that plague parametric
+ * regressions on WAN bandwidth data (Section 3.1's motivation for
+ * tree-based learners).
+ */
+
+#ifndef WANIFY_ML_DECISION_TREE_HH
+#define WANIFY_ML_DECISION_TREE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hh"
+#include "ml/dataset.hh"
+
+namespace wanify {
+namespace ml {
+
+/** Tree growth limits. */
+struct TreeConfig
+{
+    std::size_t maxDepth = 14;
+    std::size_t minSamplesSplit = 4;
+    std::size_t minSamplesLeaf = 2;
+
+    /**
+     * Features considered per split; 0 = all (CART default for
+     * regression). The forest sets this for feature bagging.
+     */
+    std::size_t maxFeatures = 0;
+};
+
+class DecisionTreeRegressor
+{
+  public:
+    explicit DecisionTreeRegressor(TreeConfig config = {});
+
+    /**
+     * Fit on the rows of @p data selected by @p sampleIndices (the
+     * forest passes bootstrap samples; pass all indices for a plain
+     * tree). @p rng drives feature subsampling.
+     */
+    void fit(const Dataset &data,
+             const std::vector<std::size_t> &sampleIndices, Rng &rng);
+
+    /** Fit on the full dataset. */
+    void fit(const Dataset &data, Rng &rng);
+
+    /** Predict the target vector for a feature vector. */
+    std::vector<double> predict(const std::vector<double> &x) const;
+
+    /** Single-output shortcut. */
+    double predictScalar(const std::vector<double> &x) const;
+
+    bool trained() const { return !nodes_.empty(); }
+    std::size_t nodeCount() const { return nodes_.size(); }
+    std::size_t depth() const;
+
+    /**
+     * Total SSE reduction contributed by each feature across all splits
+     * (unnormalized impurity importance).
+     */
+    const std::vector<double> &featureGains() const
+    {
+        return featureGains_;
+    }
+
+  private:
+    struct Node
+    {
+        /** -1 for leaves. */
+        int feature = -1;
+        double threshold = 0.0;
+        int left = -1;
+        int right = -1;
+        std::vector<double> leafValue;
+    };
+
+    struct SplitResult
+    {
+        bool found = false;
+        std::size_t feature = 0;
+        double threshold = 0.0;
+        double gain = 0.0;
+    };
+
+    int build(const Dataset &data, std::vector<std::size_t> &indices,
+              std::size_t depth, Rng &rng);
+
+    SplitResult bestSplit(const Dataset &data,
+                          const std::vector<std::size_t> &indices,
+                          Rng &rng) const;
+
+    std::vector<double> meanTarget(
+        const Dataset &data,
+        const std::vector<std::size_t> &indices) const;
+
+    TreeConfig config_;
+    std::size_t featureCount_ = 0;
+    std::size_t outputCount_ = 0;
+    std::vector<Node> nodes_;
+    std::vector<double> featureGains_;
+};
+
+} // namespace ml
+} // namespace wanify
+
+#endif // WANIFY_ML_DECISION_TREE_HH

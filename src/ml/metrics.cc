@@ -1,0 +1,107 @@
+#include "ml/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace wanify {
+namespace ml {
+
+namespace {
+
+void
+checkSizes(const std::vector<double> &truth,
+           const std::vector<double> &pred)
+{
+    fatalIf(truth.size() != pred.size(), "metrics: size mismatch");
+    fatalIf(truth.empty(), "metrics: empty input");
+}
+
+} // namespace
+
+double
+mae(const std::vector<double> &truth, const std::vector<double> &pred)
+{
+    checkSizes(truth, pred);
+    double total = 0.0;
+    for (std::size_t i = 0; i < truth.size(); ++i)
+        total += std::abs(truth[i] - pred[i]);
+    return total / static_cast<double>(truth.size());
+}
+
+double
+rmse(const std::vector<double> &truth, const std::vector<double> &pred)
+{
+    checkSizes(truth, pred);
+    double total = 0.0;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+        const double d = truth[i] - pred[i];
+        total += d * d;
+    }
+    return std::sqrt(total / static_cast<double>(truth.size()));
+}
+
+double
+r2(const std::vector<double> &truth, const std::vector<double> &pred)
+{
+    checkSizes(truth, pred);
+    double meanY = 0.0;
+    for (double y : truth)
+        meanY += y;
+    meanY /= static_cast<double>(truth.size());
+
+    double ssRes = 0.0, ssTot = 0.0;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+        ssRes += (truth[i] - pred[i]) * (truth[i] - pred[i]);
+        ssTot += (truth[i] - meanY) * (truth[i] - meanY);
+    }
+    if (ssTot <= 0.0)
+        return 0.0;
+    return 1.0 - ssRes / ssTot;
+}
+
+double
+withinAbsolute(const std::vector<double> &truth,
+               const std::vector<double> &pred, double threshold)
+{
+    checkSizes(truth, pred);
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+        if (std::abs(truth[i] - pred[i]) <= threshold)
+            ++hits;
+    }
+    return static_cast<double>(hits) /
+           static_cast<double>(truth.size());
+}
+
+std::size_t
+significantDifferences(const std::vector<double> &truth,
+                       const std::vector<double> &pred, double threshold)
+{
+    checkSizes(truth, pred);
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+        if (std::abs(truth[i] - pred[i]) > threshold)
+            ++count;
+    }
+    return count;
+}
+
+double
+relativeAccuracyPct(const std::vector<double> &truth,
+                    const std::vector<double> &pred)
+{
+    checkSizes(truth, pred);
+    double totalRelErr = 0.0;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+        const double denom = std::max(std::abs(truth[i]), 1.0e-9);
+        totalRelErr += std::abs(truth[i] - pred[i]) / denom;
+    }
+    const double meanRelErr =
+        totalRelErr / static_cast<double>(truth.size());
+    return std::clamp(100.0 * (1.0 - meanRelErr), 0.0, 100.0);
+}
+
+} // namespace ml
+} // namespace wanify

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Regression quality metrics.
+ *
+ * Besides the standard MAE/RMSE/R^2, the suite includes the paper's two
+ * operational metrics: the count of "significant" differences (> 100
+ * Mbps, the threshold refs [13, 24] use to characterize network
+ * performance) and a relative training-accuracy figure comparable to the
+ * paper's reported 98.51%.
+ */
+
+#ifndef WANIFY_ML_METRICS_HH
+#define WANIFY_ML_METRICS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace wanify {
+namespace ml {
+
+/** Mean absolute error. */
+double mae(const std::vector<double> &truth,
+           const std::vector<double> &pred);
+
+/** Root mean squared error. */
+double rmse(const std::vector<double> &truth,
+            const std::vector<double> &pred);
+
+/** Coefficient of determination; 0 when truth has no variance. */
+double r2(const std::vector<double> &truth,
+          const std::vector<double> &pred);
+
+/** Fraction of predictions within @p threshold (absolute). */
+double withinAbsolute(const std::vector<double> &truth,
+                      const std::vector<double> &pred, double threshold);
+
+/** Count of absolute differences strictly above @p threshold. */
+std::size_t significantDifferences(const std::vector<double> &truth,
+                                   const std::vector<double> &pred,
+                                   double threshold = 100.0);
+
+/**
+ * Relative accuracy in percent: 100 * (1 - mean(|err| / max(|y|, eps))),
+ * clamped to [0, 100]. Comparable to the paper's "98.51% training
+ * accuracy".
+ */
+double relativeAccuracyPct(const std::vector<double> &truth,
+                           const std::vector<double> &pred);
+
+} // namespace ml
+} // namespace wanify
+
+#endif // WANIFY_ML_METRICS_HH

@@ -1,0 +1,169 @@
+#include "ml/random_forest.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hh"
+
+namespace wanify {
+namespace ml {
+
+RandomForestRegressor::RandomForestRegressor(ForestConfig config)
+    : config_(config)
+{
+    fatalIf(config_.nEstimators == 0,
+            "RandomForest: nEstimators must be > 0");
+    fatalIf(config_.bootstrapFraction <= 0.0 ||
+                config_.bootstrapFraction > 1.0,
+            "RandomForest: bootstrapFraction must be in (0, 1]");
+}
+
+void
+RandomForestRegressor::fit(const Dataset &data, std::uint64_t seed)
+{
+    fatalIf(data.empty(), "RandomForest::fit: empty dataset");
+    trees_.clear();
+    featureCount_ = data.featureCount();
+    Rng rng(seed);
+    growTrees(data, config_.nEstimators, rng);
+}
+
+void
+RandomForestRegressor::warmStart(const Dataset &data,
+                                 std::size_t extraTrees,
+                                 std::uint64_t seed)
+{
+    fatalIf(data.empty(), "RandomForest::warmStart: empty dataset");
+    fatalIf(extraTrees == 0, "RandomForest::warmStart: extraTrees == 0");
+    if (trees_.empty()) {
+        featureCount_ = data.featureCount();
+    } else {
+        fatalIf(data.featureCount() != featureCount_,
+                "RandomForest::warmStart: feature count changed");
+    }
+    Rng rng(seed ^ 0xa5a5a5a5a5a5a5a5ULL);
+    growTrees(data, extraTrees, rng);
+}
+
+void
+RandomForestRegressor::growTrees(const Dataset &data, std::size_t count,
+                                 Rng &rng)
+{
+    const std::size_t n = data.size();
+    const auto bagSize = static_cast<std::size_t>(
+        std::max(1.0, config_.bootstrapFraction *
+                          static_cast<double>(n)));
+
+    std::vector<std::vector<std::size_t>> bags;
+    bags.reserve(count);
+    for (std::size_t t = 0; t < count; ++t) {
+        std::vector<std::size_t> bag;
+        if (config_.bootstrap) {
+            bag = rng.sampleWithReplacement(n, bagSize);
+        } else {
+            bag.resize(n);
+            for (std::size_t i = 0; i < n; ++i)
+                bag[i] = i;
+        }
+        DecisionTreeRegressor tree(config_.tree);
+        Rng treeRng = rng.split();
+        tree.fit(data, bag, treeRng);
+        trees_.push_back(std::move(tree));
+        bags.push_back(std::move(bag));
+    }
+    computeOob(data, bags);
+}
+
+void
+RandomForestRegressor::computeOob(
+    const Dataset &data,
+    const std::vector<std::vector<std::size_t>> &bags)
+{
+    // OOB over the trees grown in this batch only; single-output path
+    // is the production configuration, so OOB handles output 0.
+    const std::size_t n = data.size();
+    const std::size_t firstNew = trees_.size() - bags.size();
+
+    std::vector<std::vector<bool>> inBag(
+        bags.size(), std::vector<bool>(n, false));
+    for (std::size_t t = 0; t < bags.size(); ++t)
+        for (std::size_t i : bags[t])
+            if (i < n)
+                inBag[t][i] = true;
+
+    double ssRes = 0.0, ssTot = 0.0, meanY = 0.0;
+    std::size_t covered = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        meanY += data.y(i)[0];
+    meanY /= static_cast<double>(n);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        double pred = 0.0;
+        std::size_t votes = 0;
+        for (std::size_t t = 0; t < bags.size(); ++t) {
+            if (inBag[t][i])
+                continue;
+            pred += trees_[firstNew + t].predict(data.x(i))[0];
+            ++votes;
+        }
+        if (votes == 0)
+            continue;
+        pred /= static_cast<double>(votes);
+        const double yi = data.y(i)[0];
+        ssRes += (yi - pred) * (yi - pred);
+        ssTot += (yi - meanY) * (yi - meanY);
+        ++covered;
+    }
+    if (covered < 2 || ssTot <= 0.0) {
+        oobR2_ = std::numeric_limits<double>::quiet_NaN();
+        return;
+    }
+    oobR2_ = 1.0 - ssRes / ssTot;
+}
+
+std::vector<double>
+RandomForestRegressor::predict(const std::vector<double> &x) const
+{
+    panicIf(trees_.empty(), "RandomForest::predict before fit");
+    std::vector<double> mean;
+    for (const auto &tree : trees_) {
+        const auto y = tree.predict(x);
+        if (mean.empty())
+            mean.assign(y.size(), 0.0);
+        for (std::size_t k = 0; k < y.size(); ++k)
+            mean[k] += y[k];
+    }
+    for (auto &m : mean)
+        m /= static_cast<double>(trees_.size());
+    return mean;
+}
+
+double
+RandomForestRegressor::predictScalar(const std::vector<double> &x) const
+{
+    const auto y = predict(x);
+    panicIf(y.size() != 1, "predictScalar on multi-output forest");
+    return y[0];
+}
+
+std::vector<double>
+RandomForestRegressor::featureImportances() const
+{
+    std::vector<double> gains(featureCount_, 0.0);
+    for (const auto &tree : trees_) {
+        const auto &treeGains = tree.featureGains();
+        for (std::size_t f = 0; f < featureCount_; ++f)
+            gains[f] += treeGains[f];
+    }
+    double total = 0.0;
+    for (double g : gains)
+        total += g;
+    if (total > 0.0) {
+        for (auto &g : gains)
+            g /= total;
+    }
+    return gains;
+}
+
+} // namespace ml
+} // namespace wanify

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Bagged Random Forest regressor.
+ *
+ * The paper's WAN Prediction Model: an ensemble of CART trees trained on
+ * bootstrap samples with optional feature subsampling; predictions are
+ * ensemble means. The bias-variance trade-off of bagging is what lets
+ * the model generalize across the WAN's dynamics (Section 5.8.2). The
+ * forest supports warm start — retraining on additional data while
+ * keeping already-grown trees — used when Nmax changes (Section 3.3.2)
+ * or the drift detector flags the model as out of date (Section 3.3.4).
+ */
+
+#ifndef WANIFY_ML_RANDOM_FOREST_HH
+#define WANIFY_ML_RANDOM_FOREST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/decision_tree.hh"
+
+namespace wanify {
+namespace ml {
+
+/** Forest hyperparameters. */
+struct ForestConfig
+{
+    /** Paper: 100 estimators yielded the best training accuracy. */
+    std::size_t nEstimators = 100;
+
+    TreeConfig tree;
+
+    /** Bootstrap sample size as a fraction of the training set. */
+    double bootstrapFraction = 1.0;
+
+    /** Draw bootstrap samples with replacement. */
+    bool bootstrap = true;
+};
+
+class RandomForestRegressor
+{
+  public:
+    explicit RandomForestRegressor(ForestConfig config = {});
+
+    /** Train from scratch, replacing any existing trees. */
+    void fit(const Dataset &data, std::uint64_t seed);
+
+    /**
+     * Warm start: keep existing trees and grow @p extraTrees new ones
+     * on @p data (typically the union of old and newly collected
+     * samples, which the caller maintains).
+     */
+    void warmStart(const Dataset &data, std::size_t extraTrees,
+                   std::uint64_t seed);
+
+    /** Ensemble-mean prediction. */
+    std::vector<double> predict(const std::vector<double> &x) const;
+
+    /** Single-output shortcut. */
+    double predictScalar(const std::vector<double> &x) const;
+
+    bool trained() const { return !trees_.empty(); }
+    std::size_t treeCount() const { return trees_.size(); }
+
+    /**
+     * Out-of-bag R^2 estimate from the most recent fit()/warmStart()
+     * call (samples never drawn by a tree's bootstrap vote on it).
+     * Returns NaN when OOB coverage is insufficient.
+     */
+    double oobR2() const { return oobR2_; }
+
+    /** Normalized impurity feature importances (sums to 1). */
+    std::vector<double> featureImportances() const;
+
+    const ForestConfig &config() const { return config_; }
+
+  private:
+    void growTrees(const Dataset &data, std::size_t count, Rng &rng);
+    void computeOob(const Dataset &data,
+                    const std::vector<std::vector<std::size_t>> &bags);
+
+    ForestConfig config_;
+    std::vector<DecisionTreeRegressor> trees_;
+    std::size_t featureCount_ = 0;
+    double oobR2_ = 0.0;
+};
+
+} // namespace ml
+} // namespace wanify
+
+#endif // WANIFY_ML_RANDOM_FOREST_HH

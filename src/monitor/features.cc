@@ -1,0 +1,39 @@
+#include "monitor/features.hh"
+
+#include "common/error.hh"
+
+namespace wanify {
+namespace monitor {
+
+const std::array<std::string, kFeatureCount> &
+featureNames()
+{
+    static const std::array<std::string, kFeatureCount> names = {
+        "N", "S_BWij", "Md", "Ci", "Nr", "Dij",
+    };
+    return names;
+}
+
+std::vector<double>
+pairFeatures(const net::Topology &topo, const Matrix<Mbps> &snapshotBw,
+             net::DcId i, net::DcId j, const HostLoad &load,
+             double retransRate)
+{
+    fatalIf(i >= topo.dcCount() || j >= topo.dcCount(),
+            "pairFeatures: DC out of range");
+    fatalIf(snapshotBw.rows() != topo.dcCount() ||
+                snapshotBw.cols() != topo.dcCount(),
+            "pairFeatures: snapshot matrix shape mismatch");
+
+    std::vector<double> f(kFeatureCount, 0.0);
+    f[FeatN] = static_cast<double>(topo.dcCount());
+    f[FeatSnapshotBw] = snapshotBw.at(i, j);
+    f[FeatMemUtil] = load.memUtil;
+    f[FeatCpuLoad] = load.cpuLoad;
+    f[FeatRetrans] = retransRate;
+    f[FeatDistance] = units::toMiles(topo.distanceKm(i, j));
+    return f;
+}
+
+} // namespace monitor
+} // namespace wanify

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Feature extraction for the runtime BW prediction model (Table 3).
+ *
+ * Per DC pair (i, j) the model sees:
+ *   N      — number of DCs in the cluster
+ *   S_BWij — 1-second snapshot BW between the probe VMs at i and j
+ *   Md     — memory utilization at the receiving end
+ *   Ci     — CPU load at the VM in DC i
+ *   Nr     — retransmission rate (congestion proxy)
+ *   Dij    — physical distance in miles between the VMs at i and j
+ *
+ * A single per-pair model with N as a feature serves every cluster size
+ * (Section 3.3.2).
+ */
+
+#ifndef WANIFY_MONITOR_FEATURES_HH
+#define WANIFY_MONITOR_FEATURES_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hh"
+#include "common/units.hh"
+#include "net/topology.hh"
+
+namespace wanify {
+namespace monitor {
+
+/** Number of model features (Table 3). */
+constexpr std::size_t kFeatureCount = 6;
+
+/** Feature indices, in Table 3 order. */
+enum Feature : std::size_t {
+    FeatN = 0,
+    FeatSnapshotBw = 1,
+    FeatMemUtil = 2,
+    FeatCpuLoad = 3,
+    FeatRetrans = 4,
+    FeatDistance = 5,
+};
+
+/** Human-readable feature names. */
+const std::array<std::string, kFeatureCount> &featureNames();
+
+/** Host-level load observed while sampling (synthetic or from GDA). */
+struct HostLoad
+{
+    double memUtil = 0.3;  ///< [0, 1] at the receiving end
+    double cpuLoad = 0.3;  ///< [0, 1] at the sending DC's VM
+};
+
+/**
+ * Assemble the feature vector for pair (i, j).
+ *
+ * @param topo        cluster topology (for N and Dij)
+ * @param snapshotBw  1-second snapshot matrix
+ * @param load        host load at sampling time
+ * @param retransRate congestion proxy in [0, 1] for the pair
+ */
+std::vector<double> pairFeatures(const net::Topology &topo,
+                                 const Matrix<Mbps> &snapshotBw,
+                                 net::DcId i, net::DcId j,
+                                 const HostLoad &load,
+                                 double retransRate);
+
+} // namespace monitor
+} // namespace wanify
+
+#endif // WANIFY_MONITOR_FEATURES_HH

@@ -1,0 +1,62 @@
+#include "monitor/iftop.hh"
+
+#include "common/error.hh"
+
+namespace wanify {
+namespace monitor {
+
+using net::DcId;
+
+IfTop::IfTop(const net::NetworkSim &sim, DcId sourceDc)
+    : sim_(sim), sourceDc_(sourceDc)
+{
+    fatalIf(sourceDc >= sim.topology().dcCount(),
+            "IfTop: source DC out of range");
+}
+
+void
+IfTop::beginWindow()
+{
+    const std::size_t n = sim_.topology().dcCount();
+    bytesAtStart_.assign(n, 0.0);
+    for (DcId j = 0; j < n; ++j)
+        bytesAtStart_[j] = sim_.pairBytes(sourceDc_, j);
+    windowStart_ = sim_.now();
+    windowOpen_ = true;
+}
+
+std::vector<Mbps>
+IfTop::endWindow()
+{
+    panicIf(!windowOpen_, "IfTop::endWindow without beginWindow");
+    windowOpen_ = false;
+    const std::size_t n = sim_.topology().dcCount();
+    std::vector<Mbps> rates(n, 0.0);
+    const Seconds dt = sim_.now() - windowStart_;
+    if (dt <= 0.0)
+        return rates;
+    for (DcId j = 0; j < n; ++j) {
+        if (j == sourceDc_)
+            continue;
+        const Bytes moved =
+            sim_.pairBytes(sourceDc_, j) - bytesAtStart_[j];
+        rates[j] = units::rateFor(moved, dt);
+    }
+    return rates;
+}
+
+std::vector<Mbps>
+IfTop::instantaneous() const
+{
+    const std::size_t n = sim_.topology().dcCount();
+    std::vector<Mbps> rates(n, 0.0);
+    for (DcId j = 0; j < n; ++j) {
+        if (j == sourceDc_)
+            continue;
+        rates[j] = sim_.pairRate(sourceDc_, j);
+    }
+    return rates;
+}
+
+} // namespace monitor
+} // namespace wanify

@@ -1,0 +1,245 @@
+#include "net/flow_solver.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hh"
+
+namespace wanify {
+namespace net {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** A shared capacity constraint during progressive filling. */
+struct Resource
+{
+    Mbps cap = 0.0;
+    Mbps used = 0.0;
+    Bottleneck kind = Bottleneck::None;
+    std::vector<std::size_t> flows; ///< indices of flows crossing it
+};
+
+} // namespace
+
+Mbps
+bundleCap(int connections, Mbps capPerConn, const SolverConfig &cfg)
+{
+    fatalIf(connections < 1, "bundleCap: connections must be >= 1");
+    const double excess =
+        std::max(0, connections - cfg.connectionKnee);
+    const double efficiency =
+        1.0 / (1.0 + cfg.congestionAlpha * excess * excess);
+    return static_cast<double>(connections) * capPerConn * efficiency;
+}
+
+std::vector<FlowRate>
+solveRates(const std::vector<FlowSpec> &flows, const SolverInputs &inputs,
+           const SolverConfig &cfg)
+{
+    const std::size_t nf = flows.size();
+    std::vector<FlowRate> result(nf);
+    if (nf == 0)
+        return result;
+
+    panicIf(inputs.dcCount == 0, "solveRates: dcCount is zero");
+    panicIf(inputs.pathCap.size() != inputs.dcCount * inputs.dcCount,
+            "solveRates: pathCap size mismatch");
+
+    // --- Per-VM connection overhead --------------------------------------
+    // Total connections terminating at each VM shrink its effective
+    // capacities (memory buffers per connection; see SolverConfig).
+    std::vector<int> connsAtVm(inputs.vmEgressCap.size(), 0);
+    // Aggregate desire (bundle capability clipped by tc limits)
+    // crossing each VM, for the oversubscription-waste term.
+    std::vector<Mbps> desireAtVm(inputs.vmEgressCap.size(), 0.0);
+    for (const auto &f : flows) {
+        const int c = std::max(1, f.connections);
+        Mbps desire = bundleCap(c, f.capPerConn, cfg);
+        const std::size_t pair =
+            f.srcDc * inputs.dcCount + f.dstDc;
+        if (pair < inputs.tcLimit.size() &&
+            inputs.tcLimit[pair] > 0.0)
+            desire = std::min(desire, inputs.tcLimit[pair]);
+        if (f.srcVm < connsAtVm.size()) {
+            connsAtVm[f.srcVm] += c;
+            desireAtVm[f.srcVm] += desire;
+        }
+        if (f.dstVm < connsAtVm.size()) {
+            connsAtVm[f.dstVm] += c;
+            desireAtVm[f.dstVm] += desire;
+        }
+    }
+    auto vmPenalty = [&](std::size_t vm) {
+        const int excess =
+            std::max(0, connsAtVm[vm] - cfg.vmConnKnee);
+        double penalty = 1.0 + cfg.vmConnAlpha *
+                                   static_cast<double>(excess);
+        // Oversubscription waste against the VM's NIC capacity.
+        const Mbps nic = vm < inputs.vmNicCap.size()
+                             ? inputs.vmNicCap[vm]
+                             : 0.0;
+        if (nic > 0.0 && desireAtVm[vm] > nic) {
+            penalty *= 1.0 + cfg.oversubAlpha *
+                                 (desireAtVm[vm] / nic - 1.0);
+        }
+        return 1.0 / penalty;
+    };
+
+    // --- Build resources ------------------------------------------------
+    std::vector<Resource> resources;
+    // Dense maps from (vm or pair) to resource index; -1 = not created.
+    std::vector<int> egressIdx(inputs.vmEgressCap.size(), -1);
+    std::vector<int> ingressIdx(inputs.vmIngressCap.size(), -1);
+    std::vector<int> nicIdx(inputs.vmNicCap.size(), -1);
+    std::vector<int> pathIdx(inputs.pathCap.size(), -1);
+    std::vector<int> tcIdx(inputs.tcLimit.size(), -1);
+
+    auto getResource = [&](std::vector<int> &map, std::size_t key,
+                           Mbps cap, Bottleneck kind) -> int {
+        panicIf(key >= map.size(), "solveRates: resource key out of range");
+        if (map[key] < 0) {
+            map[key] = static_cast<int>(resources.size());
+            resources.push_back({cap, 0.0, kind, {}});
+        }
+        return map[key];
+    };
+
+    // Per-flow bookkeeping.
+    std::vector<double> weight(nf, 0.0);
+    std::vector<Mbps> selfCap(nf, 0.0);
+    std::vector<std::vector<int>> flowResources(nf);
+    std::vector<bool> active(nf, false);
+
+    for (std::size_t f = 0; f < nf; ++f) {
+        const FlowSpec &spec = flows[f];
+        panicIf(spec.srcVm >= inputs.vmEgressCap.size() ||
+                    spec.dstVm >= inputs.vmIngressCap.size(),
+                "solveRates: VM id out of range");
+        weight[f] = spec.weightPerConn *
+                    static_cast<double>(std::max(1, spec.connections));
+        selfCap[f] = bundleCap(std::max(1, spec.connections),
+                               spec.capPerConn, cfg);
+        if (weight[f] <= 0.0 || selfCap[f] <= cfg.epsilon) {
+            result[f] = {0.0, Bottleneck::SelfCap};
+            continue;
+        }
+        active[f] = true;
+
+        auto &fr = flowResources[f];
+        fr.push_back(getResource(
+            egressIdx, spec.srcVm,
+            inputs.vmEgressCap[spec.srcVm] * vmPenalty(spec.srcVm),
+            Bottleneck::SrcVm));
+        fr.push_back(getResource(
+            ingressIdx, spec.dstVm,
+            inputs.vmIngressCap[spec.dstVm] * vmPenalty(spec.dstVm),
+            Bottleneck::DstVm));
+        if (spec.srcVm < inputs.vmNicCap.size()) {
+            fr.push_back(getResource(
+                nicIdx, spec.srcVm,
+                inputs.vmNicCap[spec.srcVm] * vmPenalty(spec.srcVm),
+                Bottleneck::NicTotal));
+        }
+        if (spec.dstVm < inputs.vmNicCap.size()) {
+            fr.push_back(getResource(
+                nicIdx, spec.dstVm,
+                inputs.vmNicCap[spec.dstVm] * vmPenalty(spec.dstVm),
+                Bottleneck::NicTotal));
+        }
+
+        const std::size_t pair =
+            spec.srcDc * inputs.dcCount + spec.dstDc;
+        panicIf(pair >= inputs.pathCap.size(),
+                "solveRates: pair index out of range");
+        fr.push_back(getResource(pathIdx, pair, inputs.pathCap[pair],
+                                 Bottleneck::Path));
+        if (pair < inputs.tcLimit.size() && inputs.tcLimit[pair] > 0.0) {
+            fr.push_back(getResource(tcIdx, pair, inputs.tcLimit[pair],
+                                     Bottleneck::TcLimit));
+        }
+        for (int r : fr)
+            resources[static_cast<std::size_t>(r)].flows.push_back(f);
+    }
+
+    // --- Weighted progressive filling ------------------------------------
+    // All active flows grow their rate proportionally to their weight
+    // until either their own capability or a shared resource saturates;
+    // saturated flows freeze and the rest continue.
+    std::size_t remaining = 0;
+    for (std::size_t f = 0; f < nf; ++f)
+        remaining += active[f] ? 1 : 0;
+
+    auto freezeFlow = [&](std::size_t f, Bottleneck why) {
+        if (!active[f])
+            return;
+        active[f] = false;
+        result[f].bottleneck = why;
+        --remaining;
+    };
+
+    // Pre-freeze flows crossing a zero-capacity resource.
+    for (std::size_t r = 0; r < resources.size(); ++r) {
+        if (resources[r].cap <= cfg.epsilon) {
+            for (std::size_t f : resources[r].flows)
+                freezeFlow(f, resources[r].kind);
+        }
+    }
+
+    std::size_t guard = 0;
+    const std::size_t maxIterations = 2 * nf + resources.size() + 4;
+    while (remaining > 0) {
+        panicIf(++guard > maxIterations,
+                "solveRates: progressive filling did not converge");
+
+        // Smallest growth step theta over resources and self caps.
+        double theta = kInf;
+        for (const auto &res : resources) {
+            double wsum = 0.0;
+            for (std::size_t f : res.flows)
+                if (active[f])
+                    wsum += weight[f];
+            if (wsum <= 0.0)
+                continue;
+            theta = std::min(theta, (res.cap - res.used) / wsum);
+        }
+        for (std::size_t f = 0; f < nf; ++f) {
+            if (!active[f])
+                continue;
+            theta = std::min(theta,
+                             (selfCap[f] - result[f].rate) / weight[f]);
+        }
+        if (theta == kInf)
+            break; // nothing constrains the remaining flows
+        theta = std::max(theta, 0.0);
+
+        // Grow every active flow by weight * theta.
+        for (std::size_t f = 0; f < nf; ++f) {
+            if (!active[f])
+                continue;
+            const double delta = weight[f] * theta;
+            result[f].rate += delta;
+            for (int r : flowResources[f])
+                resources[static_cast<std::size_t>(r)].used += delta;
+        }
+
+        // Freeze flows that reached their own capability.
+        for (std::size_t f = 0; f < nf; ++f) {
+            if (active[f] && result[f].rate >= selfCap[f] - cfg.epsilon)
+                freezeFlow(f, Bottleneck::SelfCap);
+        }
+        // Freeze flows on saturated resources.
+        for (const auto &res : resources) {
+            if (res.used >= res.cap - cfg.epsilon) {
+                for (std::size_t f : res.flows)
+                    freezeFlow(f, res.kind);
+            }
+        }
+    }
+
+    return result;
+}
+
+} // namespace net
+} // namespace wanify

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Flow-level WAN bandwidth allocation.
+ *
+ * Each active transfer between two VMs is a bundle of parallel TCP
+ * connections. The solver distributes bandwidth with *weighted*
+ * progressive filling (weighted max-min fairness), where a bundle's
+ * weight is connections x (1 / RTT). The 1/RTT weighting is the standard
+ * fluid model of TCP AIMD's RTT bias [Vojnovic et al., INFOCOM'00 — the
+ * paper's ref 37]: at a shared bottleneck, short-RTT flows grab
+ * proportionally more. This single mechanism reproduces the paper's
+ * central observations:
+ *
+ *  - nearby DCs occupy most of each other's capacity under uniform
+ *    parallelism (Fig. 2(b)), and
+ *  - giving *more* connections to distant pairs lifts the weakest link at
+ *    the cost of the strongest (Fig. 2(c)).
+ *
+ * Constraints honored, in addition to per-bundle capability:
+ *  - per-VM WAN egress and ingress caps (provider throttling),
+ *  - per-VM NIC caps (half-duplex share per direction),
+ *  - per-DC-pair backbone path capacity (with fluctuation applied by the
+ *    caller), and
+ *  - optional per-DC-pair Traffic Control (tc) limits set by WANify's
+ *    local agents.
+ *
+ * A bundle's own capability is connections x connCap x efficiency(n)
+ * where efficiency decays quadratically past a knee, modeling the
+ * congestion observed when parallelism is pushed past ~8 connections
+ * (Section 2.2).
+ */
+
+#ifndef WANIFY_NET_FLOW_SOLVER_HH
+#define WANIFY_NET_FLOW_SOLVER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace wanify {
+namespace net {
+
+/** What ultimately limited a flow bundle's rate. */
+enum class Bottleneck {
+    None,        ///< unconstrained (should not happen with finite caps)
+    SelfCap,     ///< its own connections' aggregate capability
+    SrcVm,       ///< source VM WAN egress throttle
+    DstVm,       ///< destination VM WAN ingress throttle
+    NicTotal,    ///< a VM's total NIC (sum of in and out, Section 2.1)
+    Path,        ///< DC-pair backbone capacity
+    TcLimit,     ///< WANify throttling
+};
+
+/** One transfer bundle presented to the solver. */
+struct FlowSpec
+{
+    std::size_t srcVm = 0;
+    std::size_t dstVm = 0;
+    std::size_t srcDc = 0;
+    std::size_t dstDc = 0;
+
+    /** Number of parallel connections in the bundle (>= 1). */
+    int connections = 1;
+
+    /** Fair-share weight of one connection (1/RTT; 1.0 = unweighted). */
+    double weightPerConn = 1.0;
+
+    /** Achievable throughput of one connection (RTT model). */
+    Mbps capPerConn = 0.0;
+};
+
+/** Per-flow result. */
+struct FlowRate
+{
+    Mbps rate = 0.0;
+    Bottleneck bottleneck = Bottleneck::None;
+};
+
+/** Static solver inputs besides the flows themselves. */
+struct SolverInputs
+{
+    /** WAN egress cap per VM (index = VmId). */
+    std::vector<Mbps> vmEgressCap;
+
+    /** WAN ingress cap per VM. */
+    std::vector<Mbps> vmIngressCap;
+
+    /**
+     * Total NIC capacity per VM, shared by both directions — providers
+     * advertise network performance as the *sum* of inbound and
+     * outbound (Section 2.1's m5.large example), which is what lets
+     * bidirectional nearby traffic crowd out distant pairs.
+     */
+    std::vector<Mbps> vmNicCap;
+
+    /** DC count (for pair indexing). */
+    std::size_t dcCount = 0;
+
+    /** Path capacity per ordered DC pair (index src * dcCount + dst). */
+    std::vector<Mbps> pathCap;
+
+    /**
+     * Optional tc limit per ordered DC pair; entries <= 0 mean
+     * unlimited. Empty vector = no throttling anywhere.
+     */
+    std::vector<Mbps> tcLimit;
+};
+
+/** Tunables of the allocation model. */
+struct SolverConfig
+{
+    /** Connections per bundle beyond which efficiency decays. */
+    int connectionKnee = 8;
+
+    /** Quadratic efficiency decay coefficient past the knee. */
+    double congestionAlpha = 0.05;
+
+    /**
+     * Per-VM connection overhead: when the total connections at a VM
+     * exceed vmConnKnee, its effective NIC/WAN capacities shrink by
+     * 1 / (1 + vmConnAlpha x excess) — every connection costs memory
+     * buffers and per-packet work (the paper's Md feature rationale,
+     * ref [17]). This is what makes blind uniform parallelism
+     * counter-productive (Fig. 5's WANify-P).
+     */
+    int vmConnKnee = 96;
+    double vmConnAlpha = 0.05;
+
+    /**
+     * Oversubscription waste: when the aggregate *desire* (connection
+     * capability, clipped by tc limits) crossing a VM exceeds its
+     * capacity, loss-based TCP burns goodput on retransmissions.
+     * Effective capacity shrinks by 1 / (1 + alpha x (demand/cap - 1)).
+     * This is the mechanism WANify's throttling exploits: capping
+     * BW-rich pairs lowers demand, recovering wasted capacity for the
+     * weak links (Fig. 5, WANify-TC).
+     */
+    double oversubAlpha = 0.06;
+
+    /** Numerical tolerance (Mbps). */
+    double epsilon = 1e-9;
+};
+
+/**
+ * Aggregate capability of a bundle of @p connections connections with
+ * per-connection cap @p capPerConn: n x cap x efficiency(n).
+ */
+Mbps bundleCap(int connections, Mbps capPerConn, const SolverConfig &cfg);
+
+/**
+ * Allocate rates to all flows with weighted progressive filling.
+ *
+ * @return One FlowRate per input flow, in order.
+ */
+std::vector<FlowRate> solveRates(const std::vector<FlowSpec> &flows,
+                                 const SolverInputs &inputs,
+                                 const SolverConfig &cfg = {});
+
+} // namespace net
+} // namespace wanify
+
+#endif // WANIFY_NET_FLOW_SOLVER_HH

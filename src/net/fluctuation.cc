@@ -1,0 +1,78 @@
+#include "net/fluctuation.hh"
+
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace wanify {
+namespace net {
+
+OuProcess::OuProcess(FluctuationParams params, Rng rng)
+    : params_(params), rng_(rng)
+{
+    fatalIf(params_.theta <= 0.0, "OuProcess: theta must be positive");
+    fatalIf(params_.logSigma < 0.0, "OuProcess: logSigma must be >= 0");
+    reseedStationary();
+}
+
+void
+OuProcess::reseedStationary()
+{
+    if (!params_.enabled || params_.logSigma == 0.0) {
+        x_ = 0.0;
+        return;
+    }
+    x_ = rng_.normal(0.0, params_.logSigma);
+}
+
+double
+OuProcess::step(Seconds dt)
+{
+    if (!params_.enabled || params_.logSigma == 0.0)
+        return 1.0;
+    panicIf(dt < 0.0, "OuProcess::step: negative dt");
+    // Exact OU discretization with stationary SD sigma:
+    //   X' = X e^{-theta dt} + N(0, sigma sqrt(1 - e^{-2 theta dt}))
+    const double decay = std::exp(-params_.theta * dt);
+    const double noiseSd =
+        params_.logSigma * std::sqrt(1.0 - decay * decay);
+    x_ = x_ * decay + rng_.normal(0.0, noiseSd);
+    return multiplier();
+}
+
+double
+OuProcess::multiplier() const
+{
+    if (!params_.enabled || params_.logSigma == 0.0)
+        return 1.0;
+    // Subtract half the variance so the multiplier has mean ~1.
+    return std::exp(x_ - 0.5 * params_.logSigma * params_.logSigma);
+}
+
+FluctuationBank::FluctuationBank(std::size_t pairs,
+                                 FluctuationParams params,
+                                 std::uint64_t seed)
+{
+    Rng master(seed);
+    processes_.reserve(pairs);
+    for (std::size_t i = 0; i < pairs; ++i)
+        processes_.emplace_back(params, master.split());
+}
+
+void
+FluctuationBank::step(Seconds dt)
+{
+    for (auto &p : processes_)
+        p.step(dt);
+}
+
+double
+FluctuationBank::multiplier(std::size_t index) const
+{
+    panicIf(index >= processes_.size(),
+            "FluctuationBank: index out of range");
+    return processes_[index].multiplier();
+}
+
+} // namespace net
+} // namespace wanify

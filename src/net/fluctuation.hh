@@ -1,0 +1,87 @@
+/**
+ * @file
+ * WAN bandwidth fluctuation process.
+ *
+ * Inter-DC capacity varies on the scale of seconds to minutes [Wang'21,
+ * ref 38 in the paper]. We model each DC-pair's capacity multiplier as the
+ * exponential of an Ornstein-Uhlenbeck process: mean-reverting, stationary
+ * and seedable, so 1-second snapshots differ from 20-second stable
+ * averages exactly the way the paper's motivation experiments describe.
+ */
+
+#ifndef WANIFY_NET_FLUCTUATION_HH
+#define WANIFY_NET_FLUCTUATION_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/units.hh"
+
+namespace wanify {
+namespace net {
+
+/** Parameters of the OU fluctuation process. */
+struct FluctuationParams
+{
+    /** Mean-reversion rate (1/s). 0.08 -> ~12 s correlation time. */
+    double theta = 0.08;
+
+    /** Stationary standard deviation of log-capacity. */
+    double logSigma = 0.16;
+
+    /** Disable fluctuation entirely (deterministic capacity). */
+    bool enabled = true;
+};
+
+/**
+ * One OU process: X mean-reverts to 0; multiplier() = exp(X).
+ *
+ * Uses the exact discretization so step size does not bias the
+ * stationary distribution.
+ */
+class OuProcess
+{
+  public:
+    OuProcess(FluctuationParams params, Rng rng);
+
+    /** Advance the process by @p dt and return the new multiplier. */
+    double step(Seconds dt);
+
+    /** Current multiplier exp(X). */
+    double multiplier() const;
+
+    /** Draw the state from the stationary distribution. */
+    void reseedStationary();
+
+  private:
+    FluctuationParams params_;
+    Rng rng_;
+    double x_ = 0.0;
+};
+
+/**
+ * A bank of independent OU processes, one per DC pair, indexed by a
+ * caller-chosen dense pair index.
+ */
+class FluctuationBank
+{
+  public:
+    FluctuationBank(std::size_t pairs, FluctuationParams params,
+                    std::uint64_t seed);
+
+    /** Advance all processes by dt. */
+    void step(Seconds dt);
+
+    /** Capacity multiplier of pair @p index. */
+    double multiplier(std::size_t index) const;
+
+    std::size_t size() const { return processes_.size(); }
+
+  private:
+    std::vector<OuProcess> processes_;
+};
+
+} // namespace net
+} // namespace wanify
+
+#endif // WANIFY_NET_FLUCTUATION_HH

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Event-driven flow-level WAN simulator.
+ *
+ * NetworkSim owns the dynamic network state: the set of active transfers
+ * (finite shuffles or infinite iPerf-style measurement flows), per-pair
+ * capacity fluctuation, and WANify tc throttles. Rates are re-solved
+ * whenever the flow set changes and at every fluctuation tick; between
+ * rate changes, transfers progress linearly and completions are located
+ * exactly.
+ *
+ * The simulator is the common substrate for the measurement plane
+ * (monitor/), for WANify's local agents, and for the GDA engine's shuffle
+ * stages.
+ */
+
+#ifndef WANIFY_NET_NETWORK_SIM_HH
+#define WANIFY_NET_NETWORK_SIM_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/matrix.hh"
+#include "common/units.hh"
+#include "net/flow_solver.hh"
+#include "net/fluctuation.hh"
+#include "net/topology.hh"
+
+namespace wanify {
+namespace net {
+
+using TransferId = std::uint64_t;
+
+/** A transfer completion event. */
+struct CompletionRecord
+{
+    TransferId id = 0;
+    Seconds time = 0.0;
+};
+
+/** Snapshot of one transfer's progress. */
+struct TransferStatus
+{
+    bool exists = false;
+    bool done = false;
+    Bytes bytesMoved = 0.0;
+    Bytes bytesRemaining = 0.0;
+    Mbps currentRate = 0.0;
+    Bottleneck bottleneck = Bottleneck::None;
+    int connections = 0;
+};
+
+/** Simulator tunables. */
+struct NetworkSimConfig
+{
+    /** Interval between fluctuation updates / rate re-solves. */
+    Seconds tickInterval = 1.0;
+
+    FluctuationParams fluctuation;
+    SolverConfig solver;
+};
+
+class NetworkSim
+{
+  public:
+    NetworkSim(Topology topology, NetworkSimConfig config = {},
+               std::uint64_t seed = 1);
+
+    /** Current simulated time. */
+    Seconds now() const { return now_; }
+
+    const Topology &topology() const { return topology_; }
+    const NetworkSimConfig &config() const { return config_; }
+
+    // --- transfer management ---------------------------------------------
+
+    /** Start a finite transfer of @p bytes; returns its id. */
+    TransferId startTransfer(VmId src, VmId dst, Bytes bytes,
+                             int connections = 1);
+
+    /** Start an infinite (iPerf-style) measurement flow. */
+    TransferId startMeasurement(VmId src, VmId dst, int connections = 1);
+
+    /** Remove a transfer (finite or measurement) before completion. */
+    void stopTransfer(TransferId id);
+
+    /** Change the parallel connection count of an active transfer. */
+    void setConnections(TransferId id, int connections);
+
+    /** Set (or with limit <= 0, clear) a tc throttle on a DC pair. */
+    void setTcLimit(DcId src, DcId dst, Mbps limit);
+
+    /** Remove all tc throttles. */
+    void clearTcLimits();
+
+    // --- time -------------------------------------------------------------
+
+    /** Advance simulated time by exactly @p dt. */
+    void advanceBy(Seconds dt);
+
+    /**
+     * Run until every finite transfer completes or @p maxTime elapses.
+     * @return The time at which the last finite transfer completed (or
+     *         now() if it hit maxTime first).
+     */
+    Seconds runUntilAllComplete(Seconds maxTime = 1.0e7);
+
+    /** True when no finite transfer remains active. */
+    bool allTransfersDone() const;
+
+    /** Retrieve and clear accumulated completion events. */
+    std::vector<CompletionRecord> drainCompletions();
+
+    // --- telemetry ---------------------------------------------------------
+
+    TransferStatus status(TransferId id) const;
+
+    /** Instantaneous rate of one transfer. */
+    Mbps transferRate(TransferId id) const;
+
+    /** Instantaneous aggregate rate between two DCs. */
+    Mbps pairRate(DcId src, DcId dst) const;
+
+    /** Cumulative bytes moved between two DCs since construction. */
+    Bytes pairBytes(DcId src, DcId dst) const;
+
+    /** Instantaneous DC-pair rate matrix. */
+    Matrix<Mbps> pairRateMatrix() const;
+
+    /**
+     * Congestion proxy for a DC pair: the fraction of aggregate
+     * connection capability left unserved, in [0, 1]. Feeds the Nr
+     * (retransmissions) feature of Table 3.
+     */
+    double pairRetransScore(DcId src, DcId dst) const;
+
+    /** Effective (fluctuated) path capacity right now. */
+    Mbps effectivePathCap(DcId src, DcId dst) const;
+
+    /** Total parallel connections currently open at a VM (both dirs). */
+    int totalConnectionsAtVm(VmId vm) const;
+
+    /** Ids of active transfers (incl. measurements) between two DCs. */
+    std::vector<TransferId> transfersBetween(DcId src, DcId dst) const;
+
+    /** Remaining bytes of active finite transfers between two DCs. */
+    Bytes pendingBytesBetween(DcId src, DcId dst) const;
+
+    /** Number of active transfers (finite + measurement). */
+    std::size_t activeTransferCount() const { return transfers_.size(); }
+
+  private:
+    struct Transfer
+    {
+        TransferId id = 0;
+        VmId srcVm = 0;
+        VmId dstVm = 0;
+        DcId srcDc = 0;
+        DcId dstDc = 0;
+        int connections = 1;
+        bool measurement = false;
+        Bytes remaining = 0.0;
+        Bytes moved = 0.0;
+        Mbps rate = 0.0;
+        Bottleneck bottleneck = Bottleneck::None;
+    };
+
+    /** Recompute rates for the current flow set. */
+    void resolveRates();
+
+    /** Earliest finite-transfer completion horizon at current rates. */
+    Seconds nextCompletionIn() const;
+
+    /** Progress all transfers by dt at current rates; handle finishes. */
+    void progress(Seconds dt);
+
+    TransferId makeTransfer(VmId src, VmId dst, Bytes bytes,
+                            int connections, bool measurement);
+
+    Topology topology_;
+    NetworkSimConfig config_;
+    FluctuationBank fluctuation_;
+
+    /** Per-VM capacity fluctuation (burst arbitration, noisy
+     *  neighbours) — gentler than the per-path process. */
+    FluctuationBank vmFluctuation_;
+
+    Seconds now_ = 0.0;
+    Seconds nextTick_ = 0.0;
+    TransferId nextId_ = 1;
+    bool ratesDirty_ = true;
+
+    std::map<TransferId, Transfer> transfers_;
+    std::map<TransferId, Transfer> completed_;
+    std::vector<CompletionRecord> completions_;
+    std::vector<Mbps> tcLimits_;      ///< per ordered pair; <=0 = none
+    Matrix<Bytes> pairBytes_;
+};
+
+} // namespace net
+} // namespace wanify
+
+#endif // WANIFY_NET_NETWORK_SIM_HH

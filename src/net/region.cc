@@ -1,0 +1,79 @@
+#include "net/region.hh"
+
+#include "common/error.hh"
+
+namespace wanify {
+namespace net {
+
+namespace {
+
+// Egress prices follow AWS's published inter-region tiers: US/EU ~$0.02/GB,
+// APAC ~$0.08-0.09/GB, Sao Paulo ~$0.13/GB.
+const std::vector<Region> kCatalog = {
+    {"us-east-1", "US East (N. Virginia)", Provider::AWS,
+     {38.95, -77.45}, 0.02},
+    {"us-west-1", "US West (N. California)", Provider::AWS,
+     {37.35, -121.96}, 0.02},
+    {"ap-south-1", "AP South (Mumbai)", Provider::AWS,
+     {19.08, 72.88}, 0.086},
+    {"ap-southeast-1", "AP SE (Singapore)", Provider::AWS,
+     {1.35, 103.82}, 0.09},
+    {"ap-southeast-2", "AP SE-2 (Sydney)", Provider::AWS,
+     {-33.87, 151.21}, 0.098},
+    {"ap-northeast-1", "AP NE (Tokyo)", Provider::AWS,
+     {35.68, 139.69}, 0.09},
+    {"eu-west-1", "EU West (Ireland)", Provider::AWS,
+     {53.35, -6.26}, 0.02},
+    {"sa-east-1", "SA East (Sao Paulo)", Provider::AWS,
+     {-23.55, -46.63}, 0.138},
+    {"us-central1", "GCP US Central (Iowa)", Provider::GCP,
+     {41.26, -95.86}, 0.02},
+    {"europe-west1", "GCP EU West (Belgium)", Provider::GCP,
+     {50.45, 3.82}, 0.02},
+};
+
+} // namespace
+
+const std::vector<Region> &
+RegionCatalog::all()
+{
+    return kCatalog;
+}
+
+std::vector<Region>
+RegionCatalog::paperRegions()
+{
+    return {kCatalog.begin(), kCatalog.begin() + 8};
+}
+
+std::vector<Region>
+RegionCatalog::paperSubset(std::size_t n)
+{
+    fatalIf(n < 2 || n > 8, "paperSubset: n must be in [2, 8]");
+    return {kCatalog.begin(), kCatalog.begin() + n};
+}
+
+const Region &
+RegionCatalog::byId(const std::string &id)
+{
+    for (const auto &r : kCatalog) {
+        if (r.id == id)
+            return r;
+    }
+    fatal("unknown region id: " + id);
+}
+
+std::vector<Region>
+RegionCatalog::gcpRegions()
+{
+    return {kCatalog.begin() + 8, kCatalog.end()};
+}
+
+Kilometers
+distanceKm(const Region &a, const Region &b)
+{
+    return geo::haversineKm(a.location, b.location);
+}
+
+} // namespace net
+} // namespace wanify

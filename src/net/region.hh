@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Cloud region catalog.
+ *
+ * The paper's testbed spans 8 AWS regions (Fig. 1): US East (N. Virginia),
+ * US West (N. California), AP South (Mumbai), AP SE (Singapore), AP SE-2
+ * (Sydney), AP NE (Tokyo), EU West (Ireland), and SA East (Sao Paulo).
+ * Section 5.8.3 additionally runs a multi-cloud test with GCP, so the
+ * catalog carries a couple of GCP regions as well. Coordinates are the
+ * real data-center metro locations; they drive RTTs and the Dij feature.
+ */
+
+#ifndef WANIFY_NET_REGION_HH
+#define WANIFY_NET_REGION_HH
+
+#include <string>
+#include <vector>
+
+#include "common/geo.hh"
+#include "common/units.hh"
+
+namespace wanify {
+namespace net {
+
+/** Cloud provider of a region (Section 3.3.3 handles mixtures). */
+enum class Provider { AWS, GCP };
+
+/** A cloud region: identity, provider, and physical location. */
+struct Region
+{
+    std::string id;          ///< e.g. "us-east-1"
+    std::string displayName; ///< e.g. "US East (N. Virginia)"
+    Provider provider = Provider::AWS;
+    GeoPoint location;
+
+    /** Inter-region egress price in $/GB charged to the source. */
+    Dollars egressPerGb = 0.02;
+};
+
+/**
+ * Catalog of known regions.
+ *
+ * The indices of the 8 paper regions are stable and exposed as named
+ * constants so experiments can reference them symbolically.
+ */
+class RegionCatalog
+{
+  public:
+    /** Indices of the paper's 8 AWS regions within paperRegions(). */
+    enum PaperRegion : std::size_t {
+        UsEast = 0,
+        UsWest = 1,
+        ApSouth = 2,
+        ApSoutheast = 3,
+        ApSoutheast2 = 4,
+        ApNortheast = 5,
+        EuWest = 6,
+        SaEast = 7,
+    };
+
+    /** The full catalog (8 AWS paper regions + GCP extras). */
+    static const std::vector<Region> &all();
+
+    /** Exactly the paper's 8 AWS regions, in Fig. 1 order. */
+    static std::vector<Region> paperRegions();
+
+    /** First @p n of the paper regions (n in [2, 8]). */
+    static std::vector<Region> paperSubset(std::size_t n);
+
+    /** Look up by id; fatal() if unknown. */
+    static const Region &byId(const std::string &id);
+
+    /** GCP regions used by the multi-cloud experiment. */
+    static std::vector<Region> gcpRegions();
+};
+
+/** Great-circle distance between two regions. */
+Kilometers distanceKm(const Region &a, const Region &b);
+
+} // namespace net
+} // namespace wanify
+
+#endif // WANIFY_NET_REGION_HH

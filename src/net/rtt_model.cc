@@ -1,0 +1,49 @@
+#include "net/rtt_model.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+
+namespace wanify {
+namespace net {
+
+namespace {
+
+constexpr double kLightSpeedKmPerSec = 299792.458;
+
+} // namespace
+
+RttModel::RttModel(RttModelParams params) : params_(params)
+{
+    fatalIf(params_.fiberSpeedFraction <= 0.0 ||
+                params_.fiberSpeedFraction > 1.0,
+            "RttModel: fiberSpeedFraction must be in (0, 1]");
+    fatalIf(params_.mathisConstant <= 0.0,
+            "RttModel: mathisConstant must be positive");
+}
+
+Seconds
+RttModel::rtt(Kilometers km) const
+{
+    const double fiberKmPerSec =
+        kLightSpeedKmPerSec * params_.fiberSpeedFraction;
+    const Seconds oneWay = km / fiberKmPerSec * params_.routeInflation;
+    return params_.baseRtt + 2.0 * oneWay;
+}
+
+Mbps
+RttModel::connCap(Seconds rttSeconds) const
+{
+    panicIf(rttSeconds <= 0.0, "connCap: non-positive RTT");
+    const Mbps raw = params_.mathisConstant / (rttSeconds * rttSeconds);
+    return std::clamp(raw, params_.minConnCap, params_.maxConnCap);
+}
+
+Mbps
+RttModel::connCapForDistance(Kilometers km) const
+{
+    return connCap(rtt(km));
+}
+
+} // namespace net
+} // namespace wanify

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * RTT and single-connection TCP throughput model.
+ *
+ * RTT is derived from great-circle distance with a fiber-speed factor and
+ * a route-inflation multiplier. Per-connection achievable throughput
+ * follows a Mathis-style law calibrated against the paper's two anchor
+ * measurements:
+ *
+ *   US East <-> US West  (~3860 km): 1700 Mbps single connection
+ *   US East <-> AP SE   (~15700 km):  121 Mbps single connection
+ *
+ * Solving rate = C / RTT^k for the two anchors gives k ~= 2, i.e. the
+ * Mathis law with loss probability growing linearly in RTT — the standard
+ * empirical behaviour on long-haul WAN paths. The paper also observes the
+ * weakest link scaling to ~1 Gbps with 9 connections, which this model
+ * reproduces (9 x 121 ~= 1089, capped by path capacity).
+ */
+
+#ifndef WANIFY_NET_RTT_MODEL_HH
+#define WANIFY_NET_RTT_MODEL_HH
+
+#include "common/units.hh"
+
+namespace wanify {
+namespace net {
+
+/** Parameters of the RTT/throughput model. */
+struct RttModelParams
+{
+    /** Base RTT floor (intra-metro handoff, virtualization). */
+    Seconds baseRtt = 0.004;
+
+    /** Speed of light in fiber as a fraction of c. */
+    double fiberSpeedFraction = 0.66;
+
+    /** Multiplier for non-great-circle routing. */
+    double routeInflation = 1.3;
+
+    /**
+     * Mathis constant C in rate = C / RTT^2 (Mbps * s^2), calibrated from
+     * the paper's anchors (1700 Mbps at ~55 ms).
+     */
+    double mathisConstant = 5.14;
+
+    /** Per-connection throughput clamp. */
+    Mbps minConnCap = 10.0;
+    Mbps maxConnCap = 4800.0;
+};
+
+/** Distance -> RTT -> single-connection throughput. */
+class RttModel
+{
+  public:
+    explicit RttModel(RttModelParams params = {});
+
+    /** Round-trip time over a path of @p km great-circle kilometers. */
+    Seconds rtt(Kilometers km) const;
+
+    /** Achievable single TCP connection throughput at @p rttSeconds. */
+    Mbps connCap(Seconds rttSeconds) const;
+
+    /** Convenience: connCap(rtt(km)). */
+    Mbps connCapForDistance(Kilometers km) const;
+
+    const RttModelParams &params() const { return params_; }
+
+  private:
+    RttModelParams params_;
+};
+
+} // namespace net
+} // namespace wanify
+
+#endif // WANIFY_NET_RTT_MODEL_HH

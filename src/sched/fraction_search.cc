@@ -1,0 +1,74 @@
+#include "sched/fraction_search.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+
+namespace wanify {
+namespace sched {
+
+std::vector<double>
+searchFractions(const gda::StageContext &ctx,
+                const AssignmentObjective &objective,
+                std::vector<double> seedFractions,
+                const FractionSearchConfig &cfg)
+{
+    const std::size_t n = ctx.inputByDc.size();
+    fatalIf(seedFractions.size() != n,
+            "searchFractions: seed size mismatch");
+
+    // Normalize the seed onto the simplex.
+    double sum = 0.0;
+    for (double f : seedFractions)
+        sum += std::max(0.0, f);
+    if (sum <= 0.0) {
+        seedFractions.assign(n, 1.0 / static_cast<double>(n));
+    } else {
+        for (auto &f : seedFractions)
+            f = std::max(0.0, f) / sum;
+    }
+
+    auto evaluate = [&](const std::vector<double> &r) {
+        return objective(
+            gda::assignmentFromFractions(ctx.inputByDc, r));
+    };
+
+    std::vector<double> best = seedFractions;
+    double bestValue = evaluate(best);
+
+    for (std::size_t iter = 0; iter < cfg.maxIterations; ++iter) {
+        // Try every (from, to) move of cfg.step and take the best.
+        double roundBest = bestValue;
+        std::size_t moveFrom = n, moveTo = n;
+        for (std::size_t from = 0; from < n; ++from) {
+            if (best[from] < cfg.step)
+                continue;
+            for (std::size_t to = 0; to < n; ++to) {
+                if (to == from)
+                    continue;
+                std::vector<double> candidate = best;
+                candidate[from] -= cfg.step;
+                candidate[to] += cfg.step;
+                const double value = evaluate(candidate);
+                if (value < roundBest - 1.0e-12) {
+                    roundBest = value;
+                    moveFrom = from;
+                    moveTo = to;
+                }
+            }
+        }
+        if (moveFrom == n)
+            break; // no improving move
+        best[moveFrom] -= cfg.step;
+        best[moveTo] += cfg.step;
+        const double improvement = (bestValue - roundBest) /
+                                   std::max(bestValue, 1.0e-12);
+        bestValue = roundBest;
+        if (improvement < cfg.tolerance)
+            break;
+    }
+    return best;
+}
+
+} // namespace sched
+} // namespace wanify

@@ -1,0 +1,43 @@
+#include "sched/kimchi.hh"
+
+#include "common/error.hh"
+
+namespace wanify {
+namespace sched {
+
+KimchiScheduler::KimchiScheduler(double costWeight,
+                                 FractionSearchConfig search)
+    : costWeight_(costWeight), search_(search)
+{
+    fatalIf(costWeight < 0.0, "KimchiScheduler: negative costWeight");
+}
+
+Matrix<Bytes>
+KimchiScheduler::placeStage(const gda::StageContext &ctx)
+{
+    const std::size_t n = ctx.inputByDc.size();
+
+    const double weight = costWeight_;
+    const AssignmentObjective objective =
+        [&ctx, weight](const Matrix<Bytes> &assignment) {
+            return gda::estimateStageTime(ctx, assignment) +
+                   weight * gda::estimateStageCost(ctx, assignment);
+        };
+
+    std::vector<double> seed(n, 0.0);
+    Bytes total = 0.0;
+    for (Bytes b : ctx.inputByDc)
+        total += b;
+    for (std::size_t j = 0; j < n; ++j) {
+        seed[j] = total > 0.0
+                      ? ctx.inputByDc[j] / total
+                      : 1.0 / static_cast<double>(n);
+    }
+
+    const auto fractions =
+        searchFractions(ctx, objective, seed, search_);
+    return gda::assignmentFromFractions(ctx.inputByDc, fractions);
+}
+
+} // namespace sched
+} // namespace wanify

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Kimchi-style network-cost-aware scheduler (Oh et al., TPDS'21 — the
+ * paper's ref 30).
+ *
+ * Kimchi balances query latency against the dollar cost of WAN
+ * transfers: its objective adds the (egress-priced) network cost of an
+ * assignment, weighted into seconds, to the estimated completion time.
+ * With costWeight = 0 it degenerates to Tetrium's objective; the
+ * default weight makes it avoid expensive egress regions (e.g. Sao
+ * Paulo) unless the latency win justifies them.
+ */
+
+#ifndef WANIFY_SCHED_KIMCHI_HH
+#define WANIFY_SCHED_KIMCHI_HH
+
+#include "gda/scheduler.hh"
+#include "sched/fraction_search.hh"
+
+namespace wanify {
+namespace sched {
+
+class KimchiScheduler : public gda::Scheduler
+{
+  public:
+    /**
+     * @param costWeight seconds of estimated latency the scheduler
+     *                   will trade for one dollar of network cost.
+     */
+    explicit KimchiScheduler(double costWeight = 120.0,
+                             FractionSearchConfig search = {});
+
+    std::string name() const override { return "kimchi"; }
+
+    Matrix<Bytes> placeStage(const gda::StageContext &ctx) override;
+
+    double costWeight() const { return costWeight_; }
+
+  private:
+    double costWeight_;
+    FractionSearchConfig search_;
+};
+
+} // namespace sched
+} // namespace wanify
+
+#endif // WANIFY_SCHED_KIMCHI_HH

@@ -1,0 +1,33 @@
+#include "sched/locality.hh"
+
+namespace wanify {
+namespace sched {
+
+Matrix<Bytes>
+LocalityScheduler::placeStage(const gda::StageContext &ctx)
+{
+    const std::size_t n = ctx.inputByDc.size();
+
+    if (ctx.stageIndex == 0) {
+        // Map stage: process blocks in place.
+        Matrix<Bytes> a = Matrix<Bytes>::square(n, 0.0);
+        for (std::size_t i = 0; i < n; ++i)
+            a.at(i, i) = ctx.inputByDc[i];
+        return a;
+    }
+
+    // Shuffled stage: reduce fractions proportional to compute slots
+    // (Spark's default executor-count-driven partitioning).
+    double totalRate = 0.0;
+    for (double r : ctx.computeRate)
+        totalRate += r;
+    std::vector<double> fractions(n, 1.0 / static_cast<double>(n));
+    if (totalRate > 0.0) {
+        for (std::size_t j = 0; j < n; ++j)
+            fractions[j] = ctx.computeRate[j] / totalRate;
+    }
+    return gda::assignmentFromFractions(ctx.inputByDc, fractions);
+}
+
+} // namespace sched
+} // namespace wanify

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Vanilla Spark locality-aware scheduling.
+ *
+ * Map stages run where the blocks live (data locality, no input
+ * migration); shuffled stages spread reduce work across DCs in
+ * proportion to compute slots, oblivious to WAN bandwidth — the "No
+ * WAN-aware" baseline of Fig. 5 and the substrate under every
+ * WANify-only variant (Section 5.3 isolates parallel-data-transfer
+ * gains from scheduling gains this way).
+ */
+
+#ifndef WANIFY_SCHED_LOCALITY_HH
+#define WANIFY_SCHED_LOCALITY_HH
+
+#include "gda/scheduler.hh"
+
+namespace wanify {
+namespace sched {
+
+class LocalityScheduler : public gda::Scheduler
+{
+  public:
+    std::string name() const override { return "locality"; }
+
+    Matrix<Bytes> placeStage(const gda::StageContext &ctx) override;
+};
+
+} // namespace sched
+} // namespace wanify
+
+#endif // WANIFY_SCHED_LOCALITY_HH

@@ -1,0 +1,39 @@
+#include "sched/tetrium.hh"
+
+namespace wanify {
+namespace sched {
+
+TetriumScheduler::TetriumScheduler(FractionSearchConfig search)
+    : search_(search)
+{}
+
+Matrix<Bytes>
+TetriumScheduler::placeStage(const gda::StageContext &ctx)
+{
+    const std::size_t n = ctx.inputByDc.size();
+
+    // Objective: estimated stage completion time (network + compute).
+    const AssignmentObjective objective =
+        [&ctx](const Matrix<Bytes> &assignment) {
+            return gda::estimateStageTime(ctx, assignment);
+        };
+
+    // Seed compute-proportionally (Spark's slot-driven default); the
+    // search then pulls work away from DCs with weak inbound links.
+    std::vector<double> seed(n, 0.0);
+    double totalRate = 0.0;
+    for (double r : ctx.computeRate)
+        totalRate += r;
+    for (std::size_t j = 0; j < n; ++j) {
+        seed[j] = totalRate > 0.0
+                      ? ctx.computeRate[j] / totalRate
+                      : 1.0 / static_cast<double>(n);
+    }
+
+    const auto fractions =
+        searchFractions(ctx, objective, seed, search_);
+    return gda::assignmentFromFractions(ctx.inputByDc, fractions);
+}
+
+} // namespace sched
+} // namespace wanify

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Tetrium-style multi-resource WAN-aware scheduler (Hung et al.,
+ * EuroSys'18 — the paper's ref 21).
+ *
+ * Tetrium places both map and reduce tasks to minimize the estimated
+ * stage completion time, jointly considering network transfer times
+ * (over the BW matrix it is given) and per-DC compute capacity. Fed
+ * static-independent BWs it reproduces the paper's baseline; fed
+ * static-simultaneous or WANify-predicted BWs it makes the better
+ * decisions Table 4 quantifies.
+ */
+
+#ifndef WANIFY_SCHED_TETRIUM_HH
+#define WANIFY_SCHED_TETRIUM_HH
+
+#include "gda/scheduler.hh"
+#include "sched/fraction_search.hh"
+
+namespace wanify {
+namespace sched {
+
+class TetriumScheduler : public gda::Scheduler
+{
+  public:
+    explicit TetriumScheduler(FractionSearchConfig search = {});
+
+    std::string name() const override { return "tetrium"; }
+
+    Matrix<Bytes> placeStage(const gda::StageContext &ctx) override;
+
+  private:
+    FractionSearchConfig search_;
+};
+
+} // namespace sched
+} // namespace wanify
+
+#endif // WANIFY_SCHED_TETRIUM_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Geo-distributed ML training with BW-driven gradient quantization —
+ * the SAGQ workload (Fan et al., TCC'23, the paper's ref 15; Sections
+ * 5.6 and Fig. 4).
+ *
+ * A synchronous data-parallel model (3 Dense + 3 Activation + 2 Dropout
+ * layers on an MNIST-scale dataset) trains across the 8-DC cluster.
+ * Every epoch alternates local compute with all-to-all gradient
+ * exchange; the precision (bits) of the gradients on each link is
+ * chosen from a BW estimate without compromising accuracy. The five
+ * evaluated variants differ in where that estimate comes from and how
+ * the exchange is transported:
+ *
+ *   NoQ   — full 32-bit gradients
+ *   SAGQ  — quantization driven by static-independent BWs
+ *   SimQ  — quantization driven by static-simultaneous BWs
+ *   PredQ — quantization driven by WANify-predicted BWs
+ *   WQ    — PredQ plus WANify's heterogeneous parallel connections,
+ *           throttling, and AIMD agents
+ */
+
+#ifndef WANIFY_WORKLOADS_ML_QUANTIZATION_HH
+#define WANIFY_WORKLOADS_ML_QUANTIZATION_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/wanify.hh"
+#include "cost/cost_model.hh"
+#include "net/network_sim.hh"
+
+namespace wanify {
+namespace workloads {
+
+/** Model/training shape. */
+struct MlModelSpec
+{
+    /** Dense 784x512 + 512x256 + 256x10 (+biases) ~= 535k params. */
+    std::size_t parameters = 535000;
+
+    int epochs = 10;
+
+    /** Gradient synchronizations per epoch (mini-batch cadence). */
+    int syncsPerEpoch = 600;
+
+    /** Compute work per MB of local data per epoch. */
+    double workPerMb = 0.55;
+
+    /** Dataset size (MNIST after PySpark union ~= 6.8 GB). */
+    Bytes datasetBytes = 6.8 * 1024.0 * 1024.0 * 1024.0;
+};
+
+/** Per-run outcome. */
+struct MlRunResult
+{
+    Seconds trainingTime = 0.0;
+    cost::CostBreakdown cost;
+    Mbps minBw = 0.0;
+    double testAccuracy = 0.0;
+    std::vector<Seconds> epochTimes;
+};
+
+/**
+ * Map a link BW estimate to gradient precision — lower-BW links get
+ * coarser gradients (8/16/32 bits), per SAGQ's self-adaptive rule.
+ */
+int quantizationBits(Mbps linkBw);
+
+/** One ML training job. */
+class MlQuantizationJob
+{
+  public:
+    explicit MlQuantizationJob(MlModelSpec spec = {});
+
+    /**
+     * Train on @p topo.
+     *
+     * @param quantBw WHERE quantization bits come from: empty optional
+     *                = NoQ (32-bit everywhere)
+     * @param wanify  non-null = WQ transport (plan + agents +
+     *                throttling); the plan uses @p quantBw as the
+     *                predicted matrix
+     */
+    MlRunResult run(const net::Topology &topo,
+                    const net::NetworkSimConfig &simCfg,
+                    std::uint64_t seed,
+                    const std::optional<Matrix<Mbps>> &quantBw,
+                    core::Wanify *wanify = nullptr) const;
+
+    const MlModelSpec &spec() const { return spec_; }
+
+    /** Full-precision gradient size in bytes. */
+    Bytes gradientBytes() const;
+
+  private:
+    MlModelSpec spec_;
+};
+
+} // namespace workloads
+} // namespace wanify
+
+#endif // WANIFY_WORKLOADS_ML_QUANTIZATION_HH

@@ -1,0 +1,23 @@
+#include "workloads/terasort.hh"
+
+#include "common/error.hh"
+
+namespace wanify {
+namespace workloads {
+
+gda::JobSpec
+teraSort(double inputGb)
+{
+    fatalIf(inputGb <= 0.0, "teraSort: inputGb must be positive");
+    gda::JobSpec job;
+    job.name = "terasort";
+    job.inputBytes = units::gigabytes(inputGb);
+    // Map: sample + partition records in place; all bytes survive.
+    job.stages.push_back({"map-partition", 1.0, 0.06, true});
+    // Reduce: merge-sort the shuffled partitions; sort dominates.
+    job.stages.push_back({"sort-reduce", 1.0, 0.12, true});
+    return job;
+}
+
+} // namespace workloads
+} // namespace wanify

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * TeraSort workload model.
+ *
+ * The canonical shuffle-heavy benchmark the paper uses to compare data
+ * transfer approaches (Section 5.3.1): every input byte crosses the
+ * shuffle (selectivity 1.0), so the reduce stage's WAN behaviour
+ * dominates JCT. Compute densities are calibrated for t2.medium-class
+ * workers so a 100 GB sort lands in the paper's ~1 hour range.
+ */
+
+#ifndef WANIFY_WORKLOADS_TERASORT_HH
+#define WANIFY_WORKLOADS_TERASORT_HH
+
+#include "gda/job.hh"
+
+namespace wanify {
+namespace workloads {
+
+/** Build a TeraSort job over @p inputGb gigabytes. */
+gda::JobSpec teraSort(double inputGb = 100.0);
+
+} // namespace workloads
+} // namespace wanify
+
+#endif // WANIFY_WORKLOADS_TERASORT_HH

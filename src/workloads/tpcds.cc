@@ -1,0 +1,85 @@
+#include "workloads/tpcds.hh"
+
+#include "common/error.hh"
+
+namespace wanify {
+namespace workloads {
+
+gda::JobSpec
+tpcDsQuery(TpcDsQuery query, double inputGb)
+{
+    fatalIf(inputGb <= 0.0, "tpcDsQuery: inputGb must be positive");
+    gda::JobSpec job;
+    job.inputBytes = units::gigabytes(inputGb);
+    job.name = queryName(query);
+
+    switch (query) {
+      case TpcDsQuery::Q82:
+        // Light: selective item/inventory scan, one small join.
+        job.stages.push_back({"scan-filter", 0.03, 0.020, true});
+        job.stages.push_back({"join-agg", 0.30, 0.030, true});
+        break;
+      case TpcDsQuery::Q95:
+        // Average: web_sales self-joins over ship-date window.
+        job.stages.push_back({"scan-filter", 0.22, 0.024, true});
+        job.stages.push_back({"join-ws", 0.60, 0.040, true});
+        job.stages.push_back({"dedup-agg", 0.20, 0.030, true});
+        break;
+      case TpcDsQuery::Q11:
+        // Average: customer/year total over store + web channels.
+        job.stages.push_back({"scan-union", 0.26, 0.028, true});
+        job.stages.push_back({"join-customer", 0.70, 0.040, true});
+        job.stages.push_back({"year-window", 0.40, 0.034, true});
+        job.stages.push_back({"final-agg", 0.10, 0.024, true});
+        break;
+      case TpcDsQuery::Q78:
+        // Heavy: store/web/catalog sales three-way join sweep.
+        job.stages.push_back({"scan-sales", 0.45, 0.028, true});
+        job.stages.push_back({"join-sw", 0.85, 0.044, true});
+        job.stages.push_back({"join-cs", 0.65, 0.040, true});
+        job.stages.push_back({"ratio-agg", 0.30, 0.028, true});
+        break;
+    }
+    return job;
+}
+
+QueryWeight
+queryWeight(TpcDsQuery query)
+{
+    switch (query) {
+      case TpcDsQuery::Q82:
+        return QueryWeight::Light;
+      case TpcDsQuery::Q95:
+      case TpcDsQuery::Q11:
+        return QueryWeight::Average;
+      case TpcDsQuery::Q78:
+        return QueryWeight::Heavy;
+    }
+    panic("queryWeight: unknown query");
+}
+
+std::string
+queryName(TpcDsQuery query)
+{
+    switch (query) {
+      case TpcDsQuery::Q82:
+        return "q82";
+      case TpcDsQuery::Q95:
+        return "q95";
+      case TpcDsQuery::Q11:
+        return "q11";
+      case TpcDsQuery::Q78:
+        return "q78";
+    }
+    panic("queryName: unknown query");
+}
+
+std::vector<TpcDsQuery>
+allQueries()
+{
+    return {TpcDsQuery::Q82, TpcDsQuery::Q95, TpcDsQuery::Q11,
+            TpcDsQuery::Q78};
+}
+
+} // namespace workloads
+} // namespace wanify

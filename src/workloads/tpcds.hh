@@ -1,0 +1,45 @@
+/**
+ * @file
+ * TPC-DS query proxies.
+ *
+ * The paper evaluates three classes of TPC-DS queries on 100 GB input:
+ * light-weight (query 82), average-weight (queries 11, 95), and
+ * heavy-weight (query 78) [refs 26, 30, 32]. We model each query as a
+ * stage DAG with the class's characteristic scan/join/aggregate
+ * selectivities — the scheduler/WANify interaction depends only on the
+ * resulting stage shuffle volumes, which these proxies generate at the
+ * paper's scale (see DESIGN.md's substitution table).
+ */
+
+#ifndef WANIFY_WORKLOADS_TPCDS_HH
+#define WANIFY_WORKLOADS_TPCDS_HH
+
+#include <vector>
+
+#include "gda/job.hh"
+
+namespace wanify {
+namespace workloads {
+
+/** The paper's query set, in its Table 4 order. */
+enum class TpcDsQuery { Q82, Q95, Q11, Q78 };
+
+/** Paper weight classes. */
+enum class QueryWeight { Light, Average, Heavy };
+
+/** Build a TPC-DS query proxy over @p inputGb (paper: 100 or 40). */
+gda::JobSpec tpcDsQuery(TpcDsQuery query, double inputGb = 100.0);
+
+/** Class of a query (82 light; 11, 95 average; 78 heavy). */
+QueryWeight queryWeight(TpcDsQuery query);
+
+/** Display name, e.g. "q82". */
+std::string queryName(TpcDsQuery query);
+
+/** All four evaluated queries. */
+std::vector<TpcDsQuery> allQueries();
+
+} // namespace workloads
+} // namespace wanify
+
+#endif // WANIFY_WORKLOADS_TPCDS_HH

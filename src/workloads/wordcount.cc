@@ -1,0 +1,28 @@
+#include "workloads/wordcount.hh"
+
+#include "common/error.hh"
+
+namespace wanify {
+namespace workloads {
+
+gda::JobSpec
+wordCount(double inputMb, double intermediateMb)
+{
+    fatalIf(inputMb <= 0.0, "wordCount: inputMb must be positive");
+    fatalIf(intermediateMb <= 0.0,
+            "wordCount: intermediateMb must be positive");
+
+    gda::JobSpec job;
+    job.name = "wordcount";
+    job.inputBytes = units::megabytes(inputMb);
+    // Map: tokenize + local combine. Selectivity reproduces the
+    // requested intermediate volume.
+    const double selectivity = intermediateMb / inputMb;
+    job.stages.push_back({"tokenize-map", selectivity, 2.0, true});
+    // Reduce: aggregate counts; output is a small count table.
+    job.stages.push_back({"count-reduce", 0.05, 1.0, true});
+    return job;
+}
+
+} // namespace workloads
+} // namespace wanify

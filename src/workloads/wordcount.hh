@@ -1,0 +1,31 @@
+/**
+ * @file
+ * WordCount workload with controllable intermediate data size.
+ *
+ * Section 5.3.2 controls shuffle volume with all-distinct-word inputs:
+ * the intermediate (map output) size per DC pair is the experiment's
+ * x-axis. The factory takes the desired total intermediate size and
+ * derives the map selectivity.
+ */
+
+#ifndef WANIFY_WORKLOADS_WORDCOUNT_HH
+#define WANIFY_WORKLOADS_WORDCOUNT_HH
+
+#include "gda/job.hh"
+
+namespace wanify {
+namespace workloads {
+
+/**
+ * Build a WordCount job.
+ *
+ * @param inputMb          total input size (paper: 100-600 MB)
+ * @param intermediateMb   total map-output size across the cluster
+ *                         (all-distinct words make this controllable)
+ */
+gda::JobSpec wordCount(double inputMb, double intermediateMb);
+
+} // namespace workloads
+} // namespace wanify
+
+#endif // WANIFY_WORKLOADS_WORDCOUNT_HH

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Tests for the learning substrate: dataset handling, CART trees
+ * (single- and multi-output), the Random Forest (bagging, warm start,
+ * OOB, feature importances), and the metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hh"
+#include "ml/dataset.hh"
+#include "ml/decision_tree.hh"
+#include "ml/metrics.hh"
+#include "ml/random_forest.hh"
+
+using namespace wanify;
+using namespace wanify::ml;
+
+namespace {
+
+/** y = 3x0 + noise on x1 (irrelevant feature). */
+Dataset
+linearData(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Dataset data(2, 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x0 = rng.uniform(0.0, 10.0);
+        const double x1 = rng.uniform(0.0, 10.0);
+        data.add({x0, x1}, 3.0 * x0 + rng.normal(0.0, 0.05));
+    }
+    return data;
+}
+
+/** Step function: y = 10 for x < 5 else 20 — trivially learnable. */
+Dataset
+stepData(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Dataset data(1, 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x = rng.uniform(0.0, 10.0);
+        data.add({x}, x < 5.0 ? 10.0 : 20.0);
+    }
+    return data;
+}
+
+} // namespace
+
+// ---- dataset ---------------------------------------------------------------
+
+TEST(Dataset, ShapeEnforced)
+{
+    Dataset data(2, 1);
+    data.add({1.0, 2.0}, 3.0);
+    EXPECT_THROW(data.add({1.0}, 3.0), FatalError);
+    EXPECT_EQ(data.size(), 1u);
+    EXPECT_DOUBLE_EQ(data.target(0), 3.0);
+}
+
+TEST(Dataset, SplitPartitionsAllSamples)
+{
+    auto data = linearData(100, 1);
+    Rng rng(2);
+    const auto [train, test] = data.split(0.8, rng);
+    EXPECT_EQ(train.size() + test.size(), 100u);
+    EXPECT_EQ(train.size(), 80u);
+}
+
+TEST(Dataset, AppendConcatenates)
+{
+    auto a = linearData(10, 1);
+    const auto b = linearData(5, 2);
+    a.append(b);
+    EXPECT_EQ(a.size(), 15u);
+}
+
+// ---- decision tree -----------------------------------------------------------
+
+TEST(DecisionTree, LearnsStepFunctionExactly)
+{
+    DecisionTreeRegressor tree;
+    Rng rng(3);
+    tree.fit(stepData(200, 5), rng);
+    EXPECT_NEAR(tree.predictScalar({2.0}), 10.0, 1e-9);
+    EXPECT_NEAR(tree.predictScalar({8.0}), 20.0, 1e-9);
+}
+
+TEST(DecisionTree, FitsLinearTrendApproximately)
+{
+    DecisionTreeRegressor tree;
+    Rng rng(4);
+    tree.fit(linearData(500, 6), rng);
+    for (double x : {1.0, 4.0, 9.0})
+        EXPECT_NEAR(tree.predictScalar({x, 5.0}), 3.0 * x, 1.0);
+}
+
+TEST(DecisionTree, MultiOutputLeaves)
+{
+    // y = (x, 2x): both outputs learned from the same splits.
+    Dataset data(1, 2);
+    Rng gen(7);
+    for (int i = 0; i < 300; ++i) {
+        const double x = gen.uniform(0.0, 10.0);
+        data.add({x}, {x, 2.0 * x});
+    }
+    DecisionTreeRegressor tree;
+    Rng rng(8);
+    tree.fit(data, rng);
+    const auto y = tree.predict({5.0});
+    ASSERT_EQ(y.size(), 2u);
+    EXPECT_NEAR(y[0], 5.0, 0.5);
+    EXPECT_NEAR(y[1], 10.0, 1.0);
+}
+
+TEST(DecisionTree, RespectsMaxDepth)
+{
+    TreeConfig cfg;
+    cfg.maxDepth = 2;
+    DecisionTreeRegressor tree(cfg);
+    Rng rng(9);
+    tree.fit(linearData(500, 10), rng);
+    EXPECT_LE(tree.depth(), 3u); // root + 2 levels
+}
+
+TEST(DecisionTree, FeatureGainsIdentifyRelevantFeature)
+{
+    DecisionTreeRegressor tree;
+    Rng rng(11);
+    tree.fit(linearData(500, 12), rng);
+    const auto &gains = tree.featureGains();
+    ASSERT_EQ(gains.size(), 2u);
+    EXPECT_GT(gains[0], 100.0 * gains[1]);
+}
+
+TEST(DecisionTree, PredictBeforeFitPanics)
+{
+    DecisionTreeRegressor tree;
+    EXPECT_THROW(tree.predict({1.0}), PanicError);
+}
+
+TEST(DecisionTree, ConstantTargetGivesSingleLeaf)
+{
+    Dataset data(1, 1);
+    for (int i = 0; i < 50; ++i)
+        data.add({static_cast<double>(i)}, 42.0);
+    DecisionTreeRegressor tree;
+    Rng rng(13);
+    tree.fit(data, rng);
+    EXPECT_EQ(tree.nodeCount(), 1u);
+    EXPECT_DOUBLE_EQ(tree.predictScalar({99.0}), 42.0);
+}
+
+// ---- random forest ------------------------------------------------------------
+
+TEST(RandomForest, BeatsNaiveMeanOnLinearData)
+{
+    const auto train = linearData(600, 20);
+    const auto test = linearData(100, 21);
+
+    ForestConfig cfg;
+    cfg.nEstimators = 30;
+    RandomForestRegressor forest(cfg);
+    forest.fit(train, 22);
+
+    std::vector<double> truth, pred;
+    for (std::size_t i = 0; i < test.size(); ++i) {
+        truth.push_back(test.target(i));
+        pred.push_back(forest.predictScalar(test.x(i)));
+    }
+    EXPECT_GT(r2(truth, pred), 0.98);
+    EXPECT_LT(mae(truth, pred), 1.0);
+}
+
+TEST(RandomForest, OobR2HighOnLearnableProblem)
+{
+    ForestConfig cfg;
+    cfg.nEstimators = 40;
+    RandomForestRegressor forest(cfg);
+    forest.fit(linearData(400, 30), 31);
+    EXPECT_GT(forest.oobR2(), 0.95);
+}
+
+TEST(RandomForest, WarmStartAddsTrees)
+{
+    ForestConfig cfg;
+    cfg.nEstimators = 10;
+    RandomForestRegressor forest(cfg);
+    const auto data = linearData(200, 40);
+    forest.fit(data, 41);
+    EXPECT_EQ(forest.treeCount(), 10u);
+
+    auto grown = data;
+    grown.append(linearData(100, 42));
+    forest.warmStart(grown, 5, 43);
+    EXPECT_EQ(forest.treeCount(), 15u);
+    // Still accurate after the warm start.
+    EXPECT_NEAR(forest.predictScalar({5.0, 1.0}), 15.0, 1.0);
+}
+
+TEST(RandomForest, WarmStartRejectsShapeChange)
+{
+    RandomForestRegressor forest;
+    forest.fit(linearData(100, 50), 51);
+    Dataset other(3, 1);
+    other.add({1.0, 2.0, 3.0}, 4.0);
+    EXPECT_THROW(forest.warmStart(other, 2, 52), FatalError);
+}
+
+TEST(RandomForest, FeatureImportancesNormalized)
+{
+    RandomForestRegressor forest;
+    forest.fit(linearData(300, 60), 61);
+    const auto imp = forest.featureImportances();
+    ASSERT_EQ(imp.size(), 2u);
+    EXPECT_NEAR(imp[0] + imp[1], 1.0, 1e-9);
+    EXPECT_GT(imp[0], 0.95);
+}
+
+TEST(RandomForest, DeterministicForSameSeed)
+{
+    const auto data = linearData(200, 70);
+    ForestConfig cfg;
+    cfg.nEstimators = 8;
+    RandomForestRegressor a(cfg), b(cfg);
+    a.fit(data, 71);
+    b.fit(data, 71);
+    for (double x : {1.0, 5.0, 9.0})
+        EXPECT_DOUBLE_EQ(a.predictScalar({x, 0.0}),
+                         b.predictScalar({x, 0.0}));
+}
+
+// ---- metrics -------------------------------------------------------------------
+
+TEST(Metrics, PerfectPrediction)
+{
+    const std::vector<double> y = {1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(mae(y, y), 0.0);
+    EXPECT_DOUBLE_EQ(rmse(y, y), 0.0);
+    EXPECT_DOUBLE_EQ(r2(y, y), 1.0);
+    EXPECT_DOUBLE_EQ(withinAbsolute(y, y, 0.0), 1.0);
+    EXPECT_EQ(significantDifferences(y, y), 0u);
+    EXPECT_DOUBLE_EQ(relativeAccuracyPct(y, y), 100.0);
+}
+
+TEST(Metrics, KnownValues)
+{
+    const std::vector<double> truth = {100.0, 200.0, 300.0};
+    const std::vector<double> pred = {150.0, 200.0, 450.0};
+    EXPECT_NEAR(mae(truth, pred), (50.0 + 0.0 + 150.0) / 3.0, 1e-12);
+    EXPECT_EQ(significantDifferences(truth, pred, 100.0), 1u);
+    EXPECT_NEAR(withinAbsolute(truth, pred, 50.0), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, SizeMismatchFails)
+{
+    EXPECT_THROW(mae({1.0}, {1.0, 2.0}), FatalError);
+    EXPECT_THROW(r2({}, {}), FatalError);
+}

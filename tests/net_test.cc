@@ -1,0 +1,517 @@
+/**
+ * @file
+ * Unit and property tests for the WAN substrate: regions, RTT model,
+ * fluctuation, topology, flow solver, and the network simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "common/stats.hh"
+#include "net/flow_solver.hh"
+#include "net/fluctuation.hh"
+#include "net/network_sim.hh"
+#include "net/region.hh"
+#include "net/rtt_model.hh"
+#include "net/topology.hh"
+#include "net/vm.hh"
+
+using namespace wanify;
+using namespace wanify::net;
+
+namespace {
+
+Topology
+paperTopo(std::size_t n = 8)
+{
+    return TopologyBuilder::paperTestbed(n, VmTypeCatalog::t3nano());
+}
+
+NetworkSimConfig
+quiet()
+{
+    NetworkSimConfig cfg;
+    cfg.fluctuation.enabled = false;
+    return cfg;
+}
+
+} // namespace
+
+// ---- regions ---------------------------------------------------------------
+
+TEST(Region, CatalogHasEightPaperRegions)
+{
+    const auto regions = RegionCatalog::paperRegions();
+    ASSERT_EQ(regions.size(), 8u);
+    EXPECT_EQ(regions[RegionCatalog::UsEast].id, "us-east-1");
+    EXPECT_EQ(regions[RegionCatalog::SaEast].id, "sa-east-1");
+}
+
+TEST(Region, SubsetBoundsChecked)
+{
+    EXPECT_THROW(RegionCatalog::paperSubset(1), FatalError);
+    EXPECT_THROW(RegionCatalog::paperSubset(9), FatalError);
+    EXPECT_EQ(RegionCatalog::paperSubset(4).size(), 4u);
+}
+
+TEST(Region, ByIdFindsAndFails)
+{
+    EXPECT_EQ(RegionCatalog::byId("eu-west-1").displayName,
+              "EU West (Ireland)");
+    EXPECT_THROW(RegionCatalog::byId("mars-north-1"), FatalError);
+}
+
+TEST(Region, DistancesMatchGeography)
+{
+    const auto &east = RegionCatalog::byId("us-east-1");
+    const auto &west = RegionCatalog::byId("us-west-1");
+    const auto &sing = RegionCatalog::byId("ap-southeast-1");
+    EXPECT_NEAR(distanceKm(east, west), 3860.0, 120.0);
+    EXPECT_NEAR(distanceKm(east, sing), 15540.0, 300.0);
+}
+
+// ---- RTT model -------------------------------------------------------------
+
+TEST(RttModel, CalibratedToPaperAnchors)
+{
+    // Single-connection US East <-> US West ~1700 Mbps and US East <->
+    // AP SE ~121 Mbps (Fig. 1).
+    const RttModel model;
+    const auto &east = RegionCatalog::byId("us-east-1");
+    const auto &west = RegionCatalog::byId("us-west-1");
+    const auto &sing = RegionCatalog::byId("ap-southeast-1");
+    EXPECT_NEAR(model.connCapForDistance(distanceKm(east, west)),
+                1700.0, 100.0);
+    EXPECT_NEAR(model.connCapForDistance(distanceKm(east, sing)),
+                121.0, 15.0);
+}
+
+TEST(RttModel, RttMonotoneInDistance)
+{
+    const RttModel model;
+    Seconds prev = 0.0;
+    for (double km : {100.0, 1000.0, 5000.0, 15000.0}) {
+        const Seconds rtt = model.rtt(km);
+        EXPECT_GT(rtt, prev);
+        prev = rtt;
+    }
+}
+
+TEST(RttModel, ConnCapClamped)
+{
+    RttModelParams params;
+    const RttModel model(params);
+    EXPECT_LE(model.connCap(0.001), params.maxConnCap);
+    EXPECT_GE(model.connCap(10.0), params.minConnCap);
+}
+
+// ---- fluctuation -----------------------------------------------------------
+
+TEST(Fluctuation, DisabledIsIdentity)
+{
+    FluctuationParams params;
+    params.enabled = false;
+    OuProcess p(params, Rng(1));
+    for (int i = 0; i < 10; ++i)
+        EXPECT_DOUBLE_EQ(p.step(1.0), 1.0);
+}
+
+TEST(Fluctuation, StationaryMeanNearOne)
+{
+    FluctuationParams params;
+    OuProcess p(params, Rng(42));
+    stats::RunningStats acc;
+    for (int i = 0; i < 20000; ++i)
+        acc.push(p.step(1.0));
+    EXPECT_NEAR(acc.mean(), 1.0, 0.05);
+    EXPECT_GT(acc.stddev(), 0.05);
+}
+
+TEST(Fluctuation, BankProcessesAreIndependent)
+{
+    FluctuationBank bank(4, FluctuationParams{}, 7);
+    bank.step(1.0);
+    // At least two processes should differ after one step.
+    bool anyDifferent = false;
+    for (std::size_t i = 1; i < bank.size(); ++i)
+        anyDifferent |= bank.multiplier(i) != bank.multiplier(0);
+    EXPECT_TRUE(anyDifferent);
+}
+
+// ---- topology --------------------------------------------------------------
+
+TEST(Topology, BuilderWiresDcsAndVms)
+{
+    const auto topo = paperTopo(4);
+    EXPECT_EQ(topo.dcCount(), 4u);
+    EXPECT_EQ(topo.vmCount(), 4u);
+    for (DcId d = 0; d < 4; ++d) {
+        ASSERT_EQ(topo.dc(d).vms.size(), 1u);
+        EXPECT_EQ(topo.vm(topo.dc(d).vms[0]).dc, d);
+    }
+}
+
+TEST(Topology, HeterogeneousVmCounts)
+{
+    TopologyBuilder builder;
+    builder.addDc(RegionCatalog::byId("us-east-1"),
+                  VmTypeCatalog::t2medium(), 2);
+    builder.addDc(RegionCatalog::byId("eu-west-1"),
+                  VmTypeCatalog::t2medium(), 1);
+    builder.addVm(1, VmTypeCatalog::t2large());
+    const auto topo = builder.build();
+    EXPECT_EQ(topo.vmCount(), 4u);
+    EXPECT_EQ(topo.dc(1).vms.size(), 2u);
+    EXPECT_EQ(topo.vm(topo.dc(1).vms[1]).type.name, "t2.large");
+}
+
+TEST(Topology, PairIndexIsDense)
+{
+    const auto topo = paperTopo(4);
+    std::set<std::size_t> seen;
+    for (DcId i = 0; i < 4; ++i)
+        for (DcId j = 0; j < 4; ++j)
+            seen.insert(topo.pairIndex(i, j));
+    EXPECT_EQ(seen.size(), 16u);
+    EXPECT_EQ(*seen.rbegin(), 15u);
+}
+
+TEST(Topology, RouteQualityDeterministicAndBounded)
+{
+    const auto a = paperTopo(8);
+    const auto b = paperTopo(8);
+    for (DcId i = 0; i < 8; ++i) {
+        for (DcId j = 0; j < 8; ++j) {
+            EXPECT_DOUBLE_EQ(a.routeQuality(i, j),
+                             b.routeQuality(i, j));
+            if (i != j) {
+                EXPECT_GE(a.routeQuality(i, j), 0.55);
+                EXPECT_LE(a.routeQuality(i, j), 1.0);
+            }
+        }
+    }
+}
+
+TEST(Topology, RouteQualityStableAcrossClusterSizes)
+{
+    // The same region pair must keep its quality in any subset, or
+    // the predictor's training would not transfer across sizes.
+    const auto small = paperTopo(4);
+    const auto big = paperTopo(8);
+    for (DcId i = 0; i < 4; ++i)
+        for (DcId j = 0; j < 4; ++j)
+            EXPECT_DOUBLE_EQ(small.routeQuality(i, j),
+                             big.routeQuality(i, j));
+}
+
+// ---- flow solver: unit cases -------------------------------------------------
+
+namespace {
+
+SolverInputs
+simpleInputs(std::size_t vms, std::size_t dcs, Mbps vmCap = 1000.0,
+             Mbps pathCap = 1.0e6)
+{
+    SolverInputs in;
+    in.dcCount = dcs;
+    in.vmEgressCap.assign(vms, vmCap);
+    in.vmIngressCap.assign(vms, vmCap);
+    in.vmNicCap.assign(vms, 2.0 * vmCap);
+    in.pathCap.assign(dcs * dcs, pathCap);
+    return in;
+}
+
+/** Solver config with the congestion/oversubscription penalties off,
+ *  for tests that check the pure weighted-sharing arithmetic. */
+SolverConfig
+pureSharing()
+{
+    SolverConfig cfg;
+    cfg.vmConnAlpha = 0.0;
+    cfg.oversubAlpha = 0.0;
+    return cfg;
+}
+
+FlowSpec
+flow(std::size_t srcVm, std::size_t dstVm, std::size_t srcDc,
+     std::size_t dstDc, int conns, double weight, Mbps cap)
+{
+    FlowSpec f;
+    f.srcVm = srcVm;
+    f.dstVm = dstVm;
+    f.srcDc = srcDc;
+    f.dstDc = dstDc;
+    f.connections = conns;
+    f.weightPerConn = weight;
+    f.capPerConn = cap;
+    return f;
+}
+
+} // namespace
+
+TEST(FlowSolver, SingleFlowSelfCapBound)
+{
+    const auto rates = solveRates(
+        {flow(0, 1, 0, 1, 1, 1.0, 300.0)}, simpleInputs(2, 2));
+    ASSERT_EQ(rates.size(), 1u);
+    EXPECT_NEAR(rates[0].rate, 300.0, 1e-6);
+    EXPECT_EQ(rates[0].bottleneck, Bottleneck::SelfCap);
+}
+
+TEST(FlowSolver, SingleFlowEgressBound)
+{
+    const auto rates =
+        solveRates({flow(0, 1, 0, 1, 1, 1.0, 5000.0)},
+                   simpleInputs(2, 2), pureSharing());
+    EXPECT_NEAR(rates[0].rate, 1000.0, 1e-6);
+    EXPECT_EQ(rates[0].bottleneck, Bottleneck::SrcVm);
+}
+
+TEST(FlowSolver, WeightedSharingSplitsProportionally)
+{
+    // Two flows from the same VM, weights 3:1, both unbounded by
+    // their own caps -> 750 / 250 of the 1000 egress.
+    const auto rates = solveRates(
+        {flow(0, 1, 0, 1, 1, 3.0, 5000.0),
+         flow(0, 2, 0, 2, 1, 1.0, 5000.0)},
+        simpleInputs(3, 3), pureSharing());
+    EXPECT_NEAR(rates[0].rate, 750.0, 1e-6);
+    EXPECT_NEAR(rates[1].rate, 250.0, 1e-6);
+}
+
+TEST(FlowSolver, CappedFlowReleasesShareToOthers)
+{
+    // The heavy-weight flow is self-capped at 100; the other takes
+    // the rest of the egress.
+    const auto rates = solveRates(
+        {flow(0, 1, 0, 1, 1, 10.0, 100.0),
+         flow(0, 2, 0, 2, 1, 1.0, 5000.0)},
+        simpleInputs(3, 3), pureSharing());
+    EXPECT_NEAR(rates[0].rate, 100.0, 1e-6);
+    EXPECT_NEAR(rates[1].rate, 900.0, 1e-6);
+}
+
+TEST(FlowSolver, TcLimitCapsPairAggregate)
+{
+    auto inputs = simpleInputs(2, 2);
+    inputs.tcLimit.assign(4, 0.0);
+    inputs.tcLimit[0 * 2 + 1] = 150.0;
+    const auto rates = solveRates(
+        {flow(0, 1, 0, 1, 4, 1.0, 500.0)}, inputs);
+    EXPECT_NEAR(rates[0].rate, 150.0, 1e-6);
+    EXPECT_EQ(rates[0].bottleneck, Bottleneck::TcLimit);
+}
+
+TEST(FlowSolver, NicTotalSharedAcrossDirections)
+{
+    // VM 0's NIC (2000) is shared by its outbound and inbound flows;
+    // equal weights -> 1000 each even though each direction's WAN cap
+    // alone would allow more.
+    auto inputs = simpleInputs(3, 3, 1800.0, 1.0e6);
+    inputs.vmNicCap.assign(3, 2000.0);
+    const auto rates = solveRates(
+        {flow(0, 1, 0, 1, 1, 1.0, 5000.0),
+         flow(2, 0, 2, 0, 1, 1.0, 5000.0)},
+        inputs, pureSharing());
+    EXPECT_NEAR(rates[0].rate + rates[1].rate, 2000.0, 1e-6);
+}
+
+TEST(FlowSolver, BundleCapEfficiencyDecaysPastKnee)
+{
+    SolverConfig cfg;
+    const Mbps at8 = bundleCap(8, 100.0, cfg);
+    const Mbps at12 = bundleCap(12, 100.0, cfg);
+    EXPECT_NEAR(at8, 800.0, 1e-9);
+    EXPECT_LT(at12, 1200.0);
+    // Degradation grows quadratically: eff(12) = 1/(1+0.05*16).
+    EXPECT_NEAR(at12, 1200.0 / 1.8, 1e-6);
+}
+
+TEST(FlowSolver, EmptyProblemIsEmpty)
+{
+    EXPECT_TRUE(solveRates({}, simpleInputs(1, 1)).empty());
+}
+
+// ---- flow solver: properties over random meshes ------------------------------
+
+class FlowSolverProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(FlowSolverProperty, ConservationAndFeasibility)
+{
+    Rng rng(1000 + GetParam());
+    const std::size_t dcs = 2 + rng.uniformInt(0, 4);
+    const std::size_t vms = dcs;
+    auto inputs = simpleInputs(vms, dcs,
+                               rng.uniform(500.0, 3000.0),
+                               rng.uniform(800.0, 4000.0));
+
+    std::vector<FlowSpec> flows;
+    for (std::size_t i = 0; i < dcs; ++i) {
+        for (std::size_t j = 0; j < dcs; ++j) {
+            if (i == j || rng.bernoulli(0.3))
+                continue;
+            flows.push_back(flow(
+                i, j, i, j, static_cast<int>(rng.uniformInt(1, 10)),
+                rng.uniform(0.1, 10.0), rng.uniform(50.0, 2000.0)));
+        }
+    }
+    const auto rates = solveRates(flows, inputs);
+    ASSERT_EQ(rates.size(), flows.size());
+
+    // Feasibility: rates non-negative, self-cap honored, resources
+    // not oversubscribed (the conn/oversubscription penalties only
+    // shrink capacities, so the nominal caps bound from above).
+    SolverConfig cfg;
+    std::vector<double> egress(vms, 0.0), ingress(vms, 0.0);
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+        EXPECT_GE(rates[f].rate, 0.0);
+        EXPECT_LE(rates[f].rate,
+                  bundleCap(flows[f].connections,
+                            flows[f].capPerConn, cfg) +
+                      1e-6);
+        egress[flows[f].srcVm] += rates[f].rate;
+        ingress[flows[f].dstVm] += rates[f].rate;
+    }
+    for (std::size_t v = 0; v < vms; ++v) {
+        EXPECT_LE(egress[v], inputs.vmEgressCap[v] + 1e-6);
+        EXPECT_LE(ingress[v], inputs.vmIngressCap[v] + 1e-6);
+        EXPECT_LE(egress[v] + ingress[v], inputs.vmNicCap[v] + 1e-6);
+    }
+}
+
+TEST_P(FlowSolverProperty, AddingConnectionsNeverHurtsOwnPair)
+{
+    // Growing a bundle's connection count (within the knee) must not
+    // reduce that bundle's allocated rate, all else equal.
+    Rng rng(5000 + GetParam());
+    auto inputs = simpleInputs(3, 3, 2000.0, 3000.0);
+    std::vector<FlowSpec> flows = {
+        flow(0, 1, 0, 1, 1, rng.uniform(0.5, 3.0), 400.0),
+        flow(0, 2, 0, 2, 1, rng.uniform(0.5, 3.0), 400.0),
+    };
+    const auto before = solveRates(flows, inputs);
+    for (int c = 2; c <= 8; ++c) {
+        flows[0].connections = c;
+        const auto after = solveRates(flows, inputs);
+        EXPECT_GE(after[0].rate, before[0].rate - 1e-6);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMeshes, FlowSolverProperty,
+                         ::testing::Range(0, 12));
+
+// ---- network sim -------------------------------------------------------------
+
+TEST(NetworkSim, FiniteTransferCompletesOnSchedule)
+{
+    NetworkSim sim(paperTopo(2), quiet(), 1);
+    // East -> West single connection: ~1718 Mbps; 1 decimal GB.
+    const auto id = sim.startTransfer(0, 1, 1.0e9, 1);
+    const Seconds t = sim.runUntilAllComplete();
+    EXPECT_NEAR(t, 8000.0 / 1718.8, 0.05);
+    EXPECT_TRUE(sim.status(id).done);
+    EXPECT_NEAR(sim.status(id).bytesMoved, 1.0e9, 10.0);
+}
+
+TEST(NetworkSim, CompletionsAreReported)
+{
+    NetworkSim sim(paperTopo(2), quiet(), 1);
+    const auto id = sim.startTransfer(0, 1, 1.0e8, 2);
+    sim.runUntilAllComplete();
+    const auto recs = sim.drainCompletions();
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_EQ(recs[0].id, id);
+    EXPECT_TRUE(sim.drainCompletions().empty());
+}
+
+TEST(NetworkSim, MeasurementFlowsNeverComplete)
+{
+    NetworkSim sim(paperTopo(2), quiet(), 1);
+    sim.startMeasurement(0, 1, 1);
+    sim.advanceBy(30.0);
+    EXPECT_TRUE(sim.allTransfersDone()); // no *finite* transfers
+    EXPECT_EQ(sim.activeTransferCount(), 1u);
+    EXPECT_TRUE(sim.drainCompletions().empty());
+}
+
+TEST(NetworkSim, PairBytesAccumulate)
+{
+    NetworkSim sim(paperTopo(2), quiet(), 1);
+    sim.startMeasurement(0, 1, 1);
+    sim.advanceBy(10.0);
+    const Bytes moved = sim.pairBytes(0, 1);
+    // ~1718.8 Mbps for 10 s ~= 2.15 decimal GB.
+    EXPECT_NEAR(moved, 1718.8e6 / 8.0 * 10.0, 2.0e7);
+    EXPECT_DOUBLE_EQ(sim.pairBytes(1, 0), 0.0);
+}
+
+TEST(NetworkSim, SetConnectionsChangesRate)
+{
+    NetworkSim sim(paperTopo(8), quiet(), 1);
+    // Weak pair: East -> AP SE.
+    const auto id = sim.startMeasurement(0, 3, 1);
+    sim.advanceBy(1.0);
+    const Mbps single = sim.transferRate(id);
+    sim.setConnections(id, 8);
+    sim.advanceBy(1.0);
+    const Mbps eight = sim.transferRate(id);
+    EXPECT_GT(eight, 5.0 * single);
+}
+
+TEST(NetworkSim, TcLimitIsAppliedAndCleared)
+{
+    NetworkSim sim(paperTopo(2), quiet(), 1);
+    const auto id = sim.startMeasurement(0, 1, 4);
+    sim.setTcLimit(0, 1, 200.0);
+    sim.advanceBy(1.0);
+    EXPECT_NEAR(sim.transferRate(id), 200.0, 1.0);
+    sim.setTcLimit(0, 1, 0.0);
+    sim.advanceBy(1.0);
+    EXPECT_GT(sim.transferRate(id), 1000.0);
+}
+
+TEST(NetworkSim, StopTransferRemovesIt)
+{
+    NetworkSim sim(paperTopo(2), quiet(), 1);
+    const auto id = sim.startTransfer(0, 1, 1.0e12, 1);
+    sim.advanceBy(1.0);
+    sim.stopTransfer(id);
+    EXPECT_TRUE(sim.allTransfersDone());
+    EXPECT_TRUE(sim.status(id).done);
+}
+
+TEST(NetworkSim, InvalidArgumentsFail)
+{
+    NetworkSim sim(paperTopo(2), quiet(), 1);
+    EXPECT_THROW(sim.startTransfer(0, 0, 100.0, 1), FatalError);
+    EXPECT_THROW(sim.startTransfer(0, 1, 0.0, 1), FatalError);
+    EXPECT_THROW(sim.startTransfer(0, 1, 100.0, 0), FatalError);
+    EXPECT_THROW(sim.startMeasurement(0, 99, 1), FatalError);
+    EXPECT_THROW(sim.advanceBy(-1.0), FatalError);
+}
+
+TEST(NetworkSim, DeterministicAcrossRuns)
+{
+    auto run = [] {
+        NetworkSim sim(paperTopo(4), NetworkSimConfig{}, 77);
+        sim.startTransfer(0, 3, 5.0e8, 3);
+        sim.startTransfer(1, 2, 5.0e8, 2);
+        return sim.runUntilAllComplete();
+    };
+    EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(NetworkSim, RetransScoreRisesUnderContention)
+{
+    NetworkSim sim(paperTopo(8), quiet(), 1);
+    // Load every pair; the weak pairs' demand goes unserved.
+    const auto &topo = sim.topology();
+    for (DcId i = 0; i < 8; ++i)
+        for (DcId j = 0; j < 8; ++j)
+            if (i != j)
+                sim.startMeasurement(topo.dc(i).vms.front(),
+                                     topo.dc(j).vms.front(), 4);
+    sim.advanceBy(1.0);
+    EXPECT_GT(sim.pairRetransScore(7, 3), 0.05);
+}
