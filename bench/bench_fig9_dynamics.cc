@@ -60,7 +60,8 @@ runTrace(const BenchContext &ctx, bool injectError,
             }
         }
     }
-    auto agents = wanify->deployAgents(sim, plan, predicted);
+    auto deployment = wanify->deploy(sim, plan, predicted);
+    auto &agents = deployment.agents;
 
     // Long-running transfers out of every DC keep the links loaded
     // for the whole observation window (a Tetrium-style shuffle-heavy

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "common/table.hh"
+#include "common/thread_pool.hh"
 #include "core/wanify.hh"
 #include "experiments/predictor_factory.hh"
 #include "experiments/runner.hh"
@@ -51,11 +52,19 @@ struct BenchContext
                          experiments::sharedPredictor(),
                          {},
                          {}};
+        // The two static baselines are independent measurement
+        // campaigns; overlap them on the pool (trials themselves run
+        // in parallel via experiments::runTrials' default).
         const monitor::MeasurementConfig mc;
-        ctx.staticIndependent = monitor::staticIndependentBw(
-            ctx.topo, ctx.simCfg, mc, 7777);
-        ctx.staticSimultaneous = monitor::staticSimultaneousBw(
-            ctx.topo, ctx.simCfg, mc, 7777);
+        ThreadPool::global().parallelFor(2, [&](std::size_t which) {
+            if (which == 0) {
+                ctx.staticIndependent = monitor::staticIndependentBw(
+                    ctx.topo, ctx.simCfg, mc, 7777);
+            } else {
+                ctx.staticSimultaneous = monitor::staticSimultaneousBw(
+                    ctx.topo, ctx.simCfg, mc, 7777);
+            }
+        });
         return ctx;
     }
 };

@@ -59,7 +59,8 @@ main()
 
     // 5. Deploy: local agents fine-tune connections with AIMD and
     //    throttle BW-rich links every 5 s epoch.
-    auto agents = wanify.deployAgents(sim, plan, predicted);
+    auto deployment = wanify.deploy(sim, plan, predicted);
+    auto &agents = deployment.agents;
 
     // Load every pair and watch the cluster's minimum BW.
     for (net::DcId i = 0; i < 8; ++i)

@@ -15,6 +15,16 @@ splitmix64(std::uint64_t &state)
     return z ^ (z >> 31);
 }
 
+std::vector<std::uint64_t>
+deriveSeeds(std::uint64_t baseSeed, std::size_t count)
+{
+    std::vector<std::uint64_t> seeds(count);
+    std::uint64_t state = baseSeed;
+    for (auto &s : seeds)
+        s = splitmix64(state);
+    return seeds;
+}
+
 namespace {
 
 inline std::uint64_t

@@ -22,6 +22,18 @@ namespace wanify {
 std::uint64_t splitmix64(std::uint64_t &state);
 
 /**
+ * Derive @p count independent seeds from @p baseSeed via splitmix64.
+ *
+ * Used wherever parallel components need per-unit seeds fixed up
+ * front (the forest's per-tree seeds, the experiment runner's
+ * per-trial seeds) so parallel and sequential execution draw the same
+ * streams. Unlike affine schemes (base + k * t), adjacent base seeds
+ * do not collide with each other's derived seeds.
+ */
+std::vector<std::uint64_t> deriveSeeds(std::uint64_t baseSeed,
+                                       std::size_t count);
+
+/**
  * Deterministic random number generator (xoshiro256**).
  *
  * Cheap to copy; child generators for parallel components should be

@@ -103,43 +103,37 @@ Wanify::plan(const BwMatrix &predictedBw,
     return plan;
 }
 
-std::vector<std::unique_ptr<LocalAgent>>
-Wanify::deployAgents(net::NetworkSim &sim, const GlobalPlan &plan,
-                     const BwMatrix &predictedBw)
+Wanify::Deployment
+Wanify::deploy(net::NetworkSim &sim, const GlobalPlan &plan,
+               const BwMatrix &predictedBw) const
 {
     const std::size_t n = sim.topology().dcCount();
     fatalIf(plan.minCons.rows() != n,
-            "deployAgents: plan/topology mismatch");
+            "deploy: plan/topology mismatch");
 
-    std::vector<std::unique_ptr<LocalAgent>> agents;
+    Deployment deployment;
     if (!config_.features.localOptimization) {
         // Without agents, throttling can only be static: thresholds
         // from the predicted per-pair BWs (row means), applied once.
         if (config_.features.throttling)
-            throttle_.apply(sim, predictedBw);
-        return agents;
+            deployment.throttles.apply(sim, predictedBw);
+        return deployment;
     }
     // With agents deployed, they own throttling end to end: thresholds
     // are re-derived every epoch from monitored rates (Section 3.2.2,
     // "Throttling BW") — dynamic throttling is what makes WANify-TC
     // the best variant in Fig. 5.
 
-    agents.reserve(n);
+    deployment.agents.reserve(n);
     for (net::DcId dc = 0; dc < n; ++dc) {
         std::vector<Mbps> row(n, 0.0);
         for (net::DcId j = 0; j < n; ++j)
             row[j] = predictedBw.at(dc, j);
-        agents.push_back(std::make_unique<LocalAgent>(
+        deployment.agents.push_back(std::make_unique<LocalAgent>(
             sim, dc, plan, std::move(row), config_.aimd,
             config_.features.throttling));
     }
-    return agents;
-}
-
-void
-Wanify::clearThrottles(net::NetworkSim &sim)
-{
-    throttle_.clear(sim);
+    return deployment;
 }
 
 } // namespace core

@@ -99,16 +99,33 @@ class Wanify
                     const Matrix<double> &rvec = {}) const;
 
     /**
+     * One run's worth of online state: the local agents plus the
+     * throttles installed on that run's simulator. Owned by the
+     * caller (one per engine run) so a single Wanify instance can
+     * serve many concurrent runs — the experiment runner's parallel
+     * trials share one facade across threads.
+     */
+    struct Deployment
+    {
+        std::vector<std::unique_ptr<LocalAgent>> agents;
+        ThrottleController throttles;
+
+        /** Remove the throttles this deployment installed. */
+        void
+        clear(net::NetworkSim &sim)
+        {
+            throttles.clear(sim);
+        }
+    };
+
+    /**
      * Deploy on a live simulator: install throttles (if enabled) and
      * create one local agent per DC. The caller drives the agents'
-     * onEpoch() at aimd.epoch intervals (the engine does this).
+     * onEpoch() at aimd.epoch intervals (the engine does this) and
+     * clears the deployment when the run ends.
      */
-    std::vector<std::unique_ptr<LocalAgent>>
-    deployAgents(net::NetworkSim &sim, const GlobalPlan &plan,
-                 const BwMatrix &predictedBw);
-
-    /** Remove installed throttles. */
-    void clearThrottles(net::NetworkSim &sim);
+    Deployment deploy(net::NetworkSim &sim, const GlobalPlan &plan,
+                      const BwMatrix &predictedBw) const;
 
     ModelDriftDetector &driftDetector() { return drift_; }
     const WanifyConfig &config() const { return config_; }
@@ -116,7 +133,6 @@ class Wanify
   private:
     WanifyConfig config_;
     std::shared_ptr<const RuntimeBwPredictor> predictor_;
-    ThrottleController throttle_;
     ModelDriftDetector drift_;
 };
 

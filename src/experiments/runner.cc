@@ -1,8 +1,13 @@
 #include "experiments/runner.hh"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 
+#include "common/rng.hh"
 #include "common/stats.hh"
+#include "common/thread_pool.hh"
 
 namespace wanify {
 namespace experiments {
@@ -29,22 +34,51 @@ aggregate(const std::vector<gda::QueryResult> &results)
 }
 
 Aggregate
-runTrials(const TrialFn &fn, std::size_t trials, std::uint64_t baseSeed)
+runTrials(const TrialFn &fn, std::size_t trials, std::uint64_t baseSeed,
+          Execution exec)
 {
-    std::vector<gda::QueryResult> results;
-    results.reserve(trials);
-    for (std::size_t t = 0; t < trials; ++t)
-        results.push_back(fn(baseSeed + 7919 * t));
+    // Seeds fixed up front and results stored by trial index: the
+    // aggregate is bit-identical however the trials are scheduled.
+    const auto seeds = deriveSeeds(baseSeed, trials);
+    std::vector<gda::QueryResult> results(trials);
+    auto runOne = [&](std::size_t t) { results[t] = fn(seeds[t]); };
+    if (exec == Execution::Parallel) {
+        ThreadPool::global().parallelFor(trials, runOne);
+    } else {
+        for (std::size_t t = 0; t < trials; ++t)
+            runOne(t);
+    }
     return aggregate(results);
 }
 
 std::string
 formatDuration(double seconds)
 {
-    const int mins = static_cast<int>(seconds) / 60;
-    const int secs = static_cast<int>(seconds) % 60;
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%dm %02ds", mins, secs);
+    if (std::isnan(seconds) || seconds < 0.0)
+        seconds = 0.0;
+    // Cap before the integer cast: converting +inf or >= 2^64 to
+    // uint64_t is undefined behavior. ~31M years is plenty.
+    seconds = std::min(seconds, 1.0e15);
+    char buf[48];
+    if (seconds < 60.0) {
+        std::snprintf(buf, sizeof(buf), "%.1fs", seconds);
+        return buf;
+    }
+    const auto total = static_cast<std::uint64_t>(seconds);
+    const std::uint64_t hours = total / 3600;
+    const std::uint64_t mins = (total % 3600) / 60;
+    const std::uint64_t secs = total % 60;
+    if (hours > 0) {
+        std::snprintf(buf, sizeof(buf),
+                      "%lluh %02llum %02llus",
+                      static_cast<unsigned long long>(hours),
+                      static_cast<unsigned long long>(mins),
+                      static_cast<unsigned long long>(secs));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%llum %02llus",
+                      static_cast<unsigned long long>(mins),
+                      static_cast<unsigned long long>(secs));
+    }
     return buf;
 }
 

@@ -34,14 +34,36 @@ struct Aggregate
 /** A closure producing one QueryResult per seed. */
 using TrialFn = std::function<gda::QueryResult(std::uint64_t seed)>;
 
-/** Run @p trials seeds (paper default 5) and aggregate. */
+/** How runTrials executes its independent per-seed trials. */
+enum class Execution
+{
+    /** One after another on the calling thread. */
+    Sequential,
+
+    /** Fanned out on the process-wide ThreadPool. */
+    Parallel,
+};
+
+/**
+ * Run @p trials seeds (paper default 5) and aggregate. Per-trial
+ * seeds are derived from @p baseSeed with splitmix64 (deriveSeeds),
+ * fixed before any trial runs, so the two execution modes produce
+ * bit-identical aggregates. Trials default to running in parallel:
+ * the closure must not mutate shared state (the engine, schedulers,
+ * and the Wanify facade are all safe to share across trials).
+ */
 Aggregate runTrials(const TrialFn &fn, std::size_t trials = 5,
-                    std::uint64_t baseSeed = 1000);
+                    std::uint64_t baseSeed = 1000,
+                    Execution exec = Execution::Parallel);
 
 /** Aggregate pre-computed results. */
 Aggregate aggregate(const std::vector<gda::QueryResult> &results);
 
-/** Format seconds as "Xm Ys" for bench tables. */
+/**
+ * Format a duration for bench tables: "12.3s" under a minute,
+ * "4m 05s" under an hour, "2h 03m 07s" beyond. Negative (and NaN)
+ * inputs clamp to zero.
+ */
 std::string formatDuration(double seconds);
 
 } // namespace experiments

@@ -74,7 +74,8 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
 
     // --- WANify deployment (Section 4.1) ---------------------------------
     core::GlobalPlan plan;
-    std::vector<std::unique_ptr<core::LocalAgent>> agents;
+    core::Wanify::Deployment deployment;
+    auto &agents = deployment.agents;
     Seconds epoch = 1.0;
     if (opts.wanify != nullptr) {
         Matrix<Mbps> predicted;
@@ -85,7 +86,7 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
         }
         plan = opts.wanify->plan(predicted, opts.skewWeights,
                                  opts.rvec);
-        agents = opts.wanify->deployAgents(sim, plan, predicted);
+        deployment = opts.wanify->deploy(sim, plan, predicted);
         epoch = opts.wanify->config().aimd.epoch;
     }
 
@@ -228,7 +229,7 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
     }
 
     if (opts.wanify != nullptr)
-        opts.wanify->clearThrottles(sim);
+        deployment.clear(sim);
 
     result.latency = sim.now() - jobStart;
     for (DcId i = 0; i < n; ++i) {

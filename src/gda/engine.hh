@@ -71,7 +71,7 @@ struct RunOptions
      * Deploy WANify (plan + agents + throttles per its feature set).
      * Null = plain data transfer with staticConnections.
      */
-    core::Wanify *wanify = nullptr;
+    const core::Wanify *wanify = nullptr;
 
     /**
      * Predicted BW matrix for WANify planning; empty = let WANify

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/error.hh"
+#include "common/thread_pool.hh"
 
 namespace wanify {
 namespace ml {
@@ -24,8 +25,7 @@ RandomForestRegressor::fit(const Dataset &data, std::uint64_t seed)
     fatalIf(data.empty(), "RandomForest::fit: empty dataset");
     trees_.clear();
     featureCount_ = data.featureCount();
-    Rng rng(seed);
-    growTrees(data, config_.nEstimators, rng);
+    growTrees(data, config_.nEstimators, seed);
 }
 
 void
@@ -41,35 +41,57 @@ RandomForestRegressor::warmStart(const Dataset &data,
         fatalIf(data.featureCount() != featureCount_,
                 "RandomForest::warmStart: feature count changed");
     }
-    Rng rng(seed ^ 0xa5a5a5a5a5a5a5a5ULL);
-    growTrees(data, extraTrees, rng);
+    growTrees(data, extraTrees, seed ^ 0xa5a5a5a5a5a5a5a5ULL);
 }
 
 void
 RandomForestRegressor::growTrees(const Dataset &data, std::size_t count,
-                                 Rng &rng)
+                                 std::uint64_t seed)
 {
     const std::size_t n = data.size();
     const auto bagSize = static_cast<std::size_t>(
         std::max(1.0, config_.bootstrapFraction *
                           static_cast<double>(n)));
 
-    std::vector<std::vector<std::size_t>> bags;
-    bags.reserve(count);
-    for (std::size_t t = 0; t < count; ++t) {
+    // Per-tree seeds are fixed before any tree grows, and each tree
+    // lands in a pre-assigned slot: the trained forest is identical
+    // whether the loop below runs sequentially or on the pool.
+    const auto treeSeeds = deriveSeeds(seed, count);
+    const std::size_t firstNew = trees_.size();
+    trees_.resize(firstNew + count, DecisionTreeRegressor(config_.tree));
+    std::vector<std::vector<std::size_t>> bags(count);
+
+    auto growOne = [&](std::size_t t) {
+        Rng treeRng(treeSeeds[t]);
         std::vector<std::size_t> bag;
         if (config_.bootstrap) {
-            bag = rng.sampleWithReplacement(n, bagSize);
+            bag = treeRng.sampleWithReplacement(n, bagSize);
         } else {
             bag.resize(n);
             for (std::size_t i = 0; i < n; ++i)
                 bag[i] = i;
         }
         DecisionTreeRegressor tree(config_.tree);
-        Rng treeRng = rng.split();
         tree.fit(data, bag, treeRng);
-        trees_.push_back(std::move(tree));
-        bags.push_back(std::move(bag));
+        trees_[firstNew + t] = std::move(tree);
+        bags[t] = std::move(bag);
+    };
+
+    try {
+        if (config_.nThreads == 0) {
+            ThreadPool::global().parallelFor(count, growOne);
+        } else if (config_.nThreads == 1) {
+            for (std::size_t t = 0; t < count; ++t)
+                growOne(t);
+        } else {
+            ThreadPool local(config_.nThreads);
+            local.parallelFor(count, growOne);
+        }
+    } catch (...) {
+        // Drop the whole batch rather than leave unfitted placeholder
+        // trees in the ensemble; the forest stays in its prior state.
+        trees_.resize(firstNew, DecisionTreeRegressor(config_.tree));
+        throw;
     }
     computeOob(data, bags);
 }

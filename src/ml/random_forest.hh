@@ -35,6 +35,16 @@ struct ForestConfig
 
     /** Draw bootstrap samples with replacement. */
     bool bootstrap = true;
+
+    /**
+     * Training parallelism: 0 = grow trees on the process-wide
+     * ThreadPool, 1 = grow sequentially on the calling thread, k > 1
+     * = at most k threads (a private pool of k - 1 workers plus the
+     * caller). Every mode produces bit-identical forests: per-tree
+     * seeds are derived up front (splitmix64 from the caller's seed)
+     * and each tree is written to its fixed slot.
+     */
+    std::size_t nThreads = 0;
 };
 
 class RandomForestRegressor
@@ -75,7 +85,8 @@ class RandomForestRegressor
     const ForestConfig &config() const { return config_; }
 
   private:
-    void growTrees(const Dataset &data, std::size_t count, Rng &rng);
+    void growTrees(const Dataset &data, std::size_t count,
+                   std::uint64_t seed);
     void computeOob(const Dataset &data,
                     const std::vector<std::vector<std::size_t>> &bags);
 

@@ -44,7 +44,7 @@ MlQuantizationJob::run(const net::Topology &topo,
                        const net::NetworkSimConfig &simCfg,
                        std::uint64_t seed,
                        const std::optional<Matrix<Mbps>> &quantBw,
-                       core::Wanify *wanify) const
+                       const core::Wanify *wanify) const
 {
     const std::size_t n = topo.dcCount();
     fatalIf(n < 2, "MlQuantizationJob: need at least 2 DCs");
@@ -59,11 +59,12 @@ MlQuantizationJob::run(const net::Topology &topo,
 
     // WQ transport: heterogeneous connections + agents + throttles.
     core::GlobalPlan plan;
-    std::vector<std::unique_ptr<core::LocalAgent>> agents;
+    core::Wanify::Deployment deployment;
+    auto &agents = deployment.agents;
     Seconds epochInterval = 1.0;
     if (wanify != nullptr) {
         plan = wanify->plan(*quantBw);
-        agents = wanify->deployAgents(sim, plan, *quantBw);
+        deployment = wanify->deploy(sim, plan, *quantBw);
         epochInterval = wanify->config().aimd.epoch;
     }
 
@@ -157,7 +158,7 @@ MlQuantizationJob::run(const net::Topology &topo,
     }
 
     if (wanify != nullptr)
-        wanify->clearThrottles(sim);
+        deployment.clear(sim);
 
     result.trainingTime = sim.now() - start;
 

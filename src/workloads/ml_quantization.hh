@@ -87,7 +87,7 @@ class MlQuantizationJob
                     const net::NetworkSimConfig &simCfg,
                     std::uint64_t seed,
                     const std::optional<Matrix<Mbps>> &quantBw,
-                    core::Wanify *wanify = nullptr) const;
+                    const core::Wanify *wanify = nullptr) const;
 
     const MlModelSpec &spec() const { return spec_; }
 
