@@ -1,0 +1,298 @@
+/**
+ * @file
+ * `wanify-scenario` — drive, record, replay, and verify the built-in
+ * WAN scenario library from the command line.
+ *
+ *   wanify-scenario list
+ *   wanify-scenario show <name>
+ *   wanify-scenario run <name> [options] [--record FILE]
+ *   wanify-scenario replay <trace.csv> [options]
+ *   wanify-scenario verify [options]
+ *
+ * Options:
+ *   --dcs N        cluster size                     (default 8)
+ *   --vms N        VMs per DC                       (default 2)
+ *   --seed S       base seed                        (default 1)
+ *   --epoch E      epoch seconds (0 = scenario's)   (default 0)
+ *   --horizon H    run seconds (0 = scenario's)     (default 0)
+ *   --quiet        disable the stationary OU noise
+ *   --record FILE  write the bandwidth trace as CSV
+ *
+ * Every run is deterministic: the same scenario, cluster, and seed
+ * produce a bit-identical trace (printed as `trace-hash`). `verify`
+ * drives every library scenario twice and fails if any pair of
+ * traces differs — the determinism contract under CTest.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "common/table.hh"
+#include "experiments/testbed.hh"
+#include "scenario/driver.hh"
+
+using namespace wanify;
+
+namespace {
+
+struct CliOptions
+{
+    std::size_t dcs = 8;
+    std::size_t vmsPerDc = 2;
+    std::uint64_t seed = 1;
+    Seconds epoch = 0.0;
+    Seconds horizon = 0.0;
+    bool fluctuation = true;
+    std::string recordPath;
+};
+
+int
+usage()
+{
+    std::printf(
+        "usage: wanify-scenario <command> [options]\n"
+        "  list                      name every built-in scenario\n"
+        "  show <name>               print a scenario's events\n"
+        "  run <name> [options]      drive a scenario and report\n"
+        "  replay <trace.csv>        re-run a recorded trace\n"
+        "  verify                    drive each scenario twice and\n"
+        "                            check the traces are identical\n"
+        "options: --dcs N --vms N --seed S --epoch E --horizon H\n"
+        "         --quiet --record FILE\n");
+    return 2;
+}
+
+bool
+parseOptions(int argc, char **argv, int first, CliOptions &opts)
+{
+    for (int i = first; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&](const char *what) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a value\n", what);
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--dcs") {
+            const char *v = next("--dcs");
+            if (v == nullptr)
+                return false;
+            opts.dcs = static_cast<std::size_t>(std::atoi(v));
+        } else if (arg == "--vms") {
+            const char *v = next("--vms");
+            if (v == nullptr)
+                return false;
+            opts.vmsPerDc = static_cast<std::size_t>(std::atoi(v));
+        } else if (arg == "--seed") {
+            const char *v = next("--seed");
+            if (v == nullptr)
+                return false;
+            opts.seed = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--epoch") {
+            const char *v = next("--epoch");
+            if (v == nullptr)
+                return false;
+            opts.epoch = std::atof(v);
+        } else if (arg == "--horizon") {
+            const char *v = next("--horizon");
+            if (v == nullptr)
+                return false;
+            opts.horizon = std::atof(v);
+        } else if (arg == "--quiet") {
+            opts.fluctuation = false;
+        } else if (arg == "--record") {
+            const char *v = next("--record");
+            if (v == nullptr)
+                return false;
+            opts.recordPath = v;
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            return false;
+        }
+    }
+    if (opts.dcs < 4 || opts.dcs > 8) {
+        std::fprintf(stderr, "--dcs must be in [4, 8]\n");
+        return false;
+    }
+    if (opts.vmsPerDc < 1) {
+        std::fprintf(stderr, "--vms must be >= 1\n");
+        return false;
+    }
+    return true;
+}
+
+scenario::DriveConfig
+driveConfig(const CliOptions &opts)
+{
+    scenario::DriveConfig cfg;
+    cfg.epoch = opts.epoch;
+    cfg.horizon = opts.horizon;
+    cfg.seed = opts.seed;
+    cfg.fluctuation = opts.fluctuation;
+    return cfg;
+}
+
+void
+printResult(const scenario::DriveResult &result)
+{
+    Table table("scenario '" + result.name + "' (" +
+                std::to_string(result.epochs.size()) + " epochs)");
+    table.setHeader({"t (s)", "min cap x", "mean cap x",
+                     "min pair Mbps", "drift err", "retrain"});
+    for (const auto &e : result.epochs) {
+        table.addRow({Table::num(e.t, 0),
+                      Table::num(e.minCapFactor, 2),
+                      Table::num(e.meanCapFactor, 2),
+                      Table::num(e.minPairRate, 0),
+                      Table::pct(e.errorFraction, 0),
+                      e.retrainFired ? "*" : ""});
+    }
+    table.print();
+    std::printf("retrains: %zu, peak drift-error fraction: %.0f%%, "
+                "trace-hash: %016llx\n",
+                result.retrainTriggers,
+                100.0 * result.maxErrorFraction,
+                static_cast<unsigned long long>(result.trace.hash()));
+}
+
+int
+cmdList()
+{
+    Table table("built-in scenarios");
+    table.setHeader({"name", "epoch", "horizon", "events"});
+    for (const auto &name : scenario::libraryScenarioNames()) {
+        const auto spec = scenario::libraryScenario(name);
+        table.addRow({spec.name, Table::num(spec.epoch, 0),
+                      Table::num(spec.horizon, 0),
+                      std::to_string(spec.events.size())});
+    }
+    table.print();
+    return 0;
+}
+
+int
+cmdShow(const std::string &name)
+{
+    const auto spec = scenario::libraryScenario(name);
+    std::printf("%s: %s\n", spec.name.c_str(),
+                spec.description.c_str());
+    Table table("events");
+    table.setHeader({"kind", "src", "dst", "start", "duration",
+                     "magnitude"});
+    auto dc = [](int id) {
+        return id == scenario::kAnyDc ? std::string("*")
+                                      : std::to_string(id);
+    };
+    for (const auto &ev : spec.events) {
+        table.addRow({scenario::eventKindName(ev.kind), dc(ev.src),
+                      dc(ev.dst), Table::num(ev.start, 0),
+                      ev.duration >= scenario::kForever
+                          ? std::string("forever")
+                          : Table::num(ev.duration, 0),
+                      Table::num(ev.magnitude, 2)});
+    }
+    table.print();
+    return 0;
+}
+
+int
+cmdRun(const std::string &name, const CliOptions &opts)
+{
+    const auto spec = scenario::libraryScenario(name);
+    const auto topo =
+        experiments::workerCluster(opts.dcs, opts.vmsPerDc);
+    const auto result =
+        scenario::driveScenario(spec, topo, driveConfig(opts));
+    printResult(result);
+    if (!opts.recordPath.empty()) {
+        scenario::writeTraceCsv(opts.recordPath, result.trace);
+        std::printf("trace written to %s (%zu samples)\n",
+                    opts.recordPath.c_str(), result.trace.size());
+    }
+    return 0;
+}
+
+int
+cmdReplay(const std::string &path, const CliOptions &opts)
+{
+    const auto trace = scenario::readTraceCsv(path);
+    if (trace.dcs != opts.dcs) {
+        std::printf("note: trace was recorded on %zu DCs; using "
+                    "that cluster size\n",
+                    trace.dcs);
+    }
+    const auto topo =
+        experiments::workerCluster(trace.dcs, opts.vmsPerDc);
+    const auto result =
+        scenario::driveReplay(trace, topo, driveConfig(opts));
+    printResult(result);
+    return 0;
+}
+
+int
+cmdVerify(const CliOptions &opts)
+{
+    const auto topo =
+        experiments::workerCluster(opts.dcs, opts.vmsPerDc);
+    bool ok = true;
+    for (const auto &name : scenario::libraryScenarioNames()) {
+        const auto spec = scenario::libraryScenario(name);
+        const auto a =
+            scenario::driveScenario(spec, topo, driveConfig(opts));
+        const auto b =
+            scenario::driveScenario(spec, topo, driveConfig(opts));
+        const bool same = a.trace.identical(b.trace);
+        ok = ok && same;
+        std::printf("%-16s %3zu epochs  retrains %zu  trace-hash "
+                    "%016llx  %s\n",
+                    name.c_str(), a.epochs.size(),
+                    a.retrainTriggers,
+                    static_cast<unsigned long long>(a.trace.hash()),
+                    same ? "OK" : "MISMATCH");
+    }
+    std::printf(ok ? "all scenarios deterministic\n"
+                   : "determinism violation detected\n");
+    return ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    try {
+        if (cmd == "list")
+            return cmdList();
+        if (cmd == "show") {
+            if (argc < 3)
+                return usage();
+            return cmdShow(argv[2]);
+        }
+        CliOptions opts;
+        if (cmd == "run" || cmd == "replay") {
+            if (argc < 3)
+                return usage();
+            if (!parseOptions(argc, argv, 3, opts))
+                return 2;
+            return cmd == "run" ? cmdRun(argv[2], opts)
+                                : cmdReplay(argv[2], opts);
+        }
+        if (cmd == "verify") {
+            if (!parseOptions(argc, argv, 2, opts))
+                return 2;
+            return cmdVerify(opts);
+        }
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "wanify-scenario: %s\n", e.what());
+        return 1;
+    }
+    return usage();
+}

@@ -54,5 +54,44 @@ ModelDriftDetector::reset()
     significantCount_ = 0;
 }
 
+CapacityDriftGauge::CapacityDriftGauge(DriftConfig config,
+                                       std::size_t dcCount)
+    : dcCount_(dcCount),
+      detector_(config),
+      baseline_(dcCount * dcCount, 1.0)
+{
+    fatalIf(dcCount_ < 2, "CapacityDriftGauge: need >= 2 DCs");
+}
+
+void
+CapacityDriftGauge::observe(const net::NetworkSim &sim)
+{
+    fatalIf(sim.topology().dcCount() != dcCount_,
+            "CapacityDriftGauge: cluster size mismatch");
+    for (net::DcId i = 0; i < dcCount_; ++i) {
+        for (net::DcId j = 0; j < dcCount_; ++j) {
+            if (i == j)
+                continue;
+            detector_.record(kDriftReferenceBw *
+                                 baseline_[i * dcCount_ + j],
+                             kDriftReferenceBw *
+                                 sim.scenarioCapFactor(i, j));
+        }
+    }
+}
+
+void
+CapacityDriftGauge::rebase(const net::NetworkSim &sim)
+{
+    fatalIf(sim.topology().dcCount() != dcCount_,
+            "CapacityDriftGauge: cluster size mismatch");
+    for (net::DcId i = 0; i < dcCount_; ++i)
+        for (net::DcId j = 0; j < dcCount_; ++j)
+            if (i != j)
+                baseline_[i * dcCount_ + j] =
+                    sim.scenarioCapFactor(i, j);
+    detector_.reset();
+}
+
 } // namespace core
 } // namespace wanify

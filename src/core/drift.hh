@@ -15,11 +15,25 @@
 
 #include <cstddef>
 #include <deque>
+#include <vector>
 
 #include "common/units.hh"
+#include "net/network_sim.hh"
 
 namespace wanify {
 namespace core {
+
+/**
+ * Reference link scale for capacity-ratio drift checks: callers that
+ * gauge drift on capacity *factors* (current vs at-prediction-time)
+ * record (kDriftReferenceBw * base, kDriftReferenceBw * current), so
+ * with the default 100 Mbps significance threshold a pair drifts
+ * exactly when its capacity leaves the +-40% band around what the
+ * model was calibrated on. Stationary OU noise (log-sigma 0.16) stays
+ * comfortably inside the band; scripted outages, deep degradation,
+ * and diurnal troughs leave it.
+ */
+constexpr Mbps kDriftReferenceBw = 250.0;
 
 /** Drift detector configuration. */
 struct DriftConfig
@@ -60,6 +74,48 @@ class ModelDriftDetector
     DriftConfig config_;
     std::deque<bool> window_;
     std::size_t significantCount_ = 0;
+};
+
+/**
+ * Capacity-factor drift gauge shared by the GDA engine and the
+ * scenario driver: every ordered pair's current scenario capacity
+ * factor is compared against the factor the model was last
+ * calibrated on, scaled by kDriftReferenceBw (see above for the
+ * resulting +-40% band). Holding the calibration convention in one
+ * place keeps the engine's and the CLI driver's drift scales in
+ * lockstep.
+ */
+class CapacityDriftGauge
+{
+  public:
+    CapacityDriftGauge(DriftConfig config, std::size_t dcCount);
+
+    /** Record one full mesh of factor observations. */
+    void observe(const net::NetworkSim &sim);
+
+    /** Re-anchor the baseline on current factors and clear the
+     *  window (the post-retrain "model recalibrated" step). */
+    void rebase(const net::NetworkSim &sim);
+
+    double errorFraction() const
+    {
+        return detector_.errorFraction();
+    }
+    bool needsRetraining() const
+    {
+        return detector_.needsRetraining();
+    }
+
+    /** Observations one observe() call records. */
+    std::size_t meshSize() const
+    {
+        return dcCount_ * (dcCount_ - 1);
+    }
+
+  private:
+    std::size_t dcCount_;
+    ModelDriftDetector detector_;
+    std::vector<double> baseline_;
 };
 
 } // namespace core

@@ -15,12 +15,14 @@ namespace experiments {
 Aggregate
 aggregate(const std::vector<gda::QueryResult> &results)
 {
-    std::vector<double> latency, costTotal, minBw;
+    std::vector<double> latency, costTotal, minBw, driftErr, retrains;
     latency.reserve(results.size());
     for (const auto &r : results) {
         latency.push_back(r.latency);
         costTotal.push_back(r.cost.total());
         minBw.push_back(r.minObservedBw);
+        driftErr.push_back(r.driftErrorFraction);
+        retrains.push_back(static_cast<double>(r.retrainTriggers));
     }
     Aggregate agg;
     agg.trials = results.size();
@@ -30,6 +32,10 @@ aggregate(const std::vector<gda::QueryResult> &results)
     agg.seCost = stats::stderrOfMean(costTotal);
     agg.meanMinBw = stats::mean(minBw);
     agg.seMinBw = stats::stderrOfMean(minBw);
+    agg.meanDriftErrorFraction = stats::mean(driftErr);
+    agg.meanRetrainTriggers = stats::mean(retrains);
+    for (const auto &r : results)
+        agg.totalRetrainTriggers += r.retrainTriggers;
     return agg;
 }
 

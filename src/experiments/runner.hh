@@ -28,6 +28,16 @@ struct Aggregate
     double seCost = 0.0;
     double meanMinBw = 0.0;
     double seMinBw = 0.0;
+
+    /** Mean peak drift-error fraction (Section 3.3.4 telemetry). */
+    double meanDriftErrorFraction = 0.0;
+
+    /** Mean retrain-flag raises per trial. */
+    double meanRetrainTriggers = 0.0;
+
+    /** Retrain-flag raises summed across all trials. */
+    std::size_t totalRetrainTriggers = 0;
+
     std::size_t trials = 0;
 };
 

@@ -5,6 +5,7 @@
 
 #include "common/error.hh"
 #include "common/logging.hh"
+#include "scenario/scenario.hh"
 
 namespace wanify {
 namespace gda {
@@ -25,6 +26,64 @@ endpointVm(const net::Topology &topo, DcId dc)
     panicIf(topo.dc(dc).vms.empty(), "engine: DC without VMs");
     return topo.dc(dc).vms.front();
 }
+
+/**
+ * Per-run dynamics state: applies the (shared, immutable) scenario
+ * timeline to this run's simulator and drives the shared burst
+ * cursor, accounting burst bytes so flash-crowd traffic is not
+ * billed to the query.
+ */
+class DynamicsState
+{
+  public:
+    DynamicsState(const scenario::Dynamics *dyn, NetworkSim &sim,
+                  const net::Topology &topo)
+        : dyn_(dyn),
+          sim_(sim),
+          cursor_(dyn),
+          burstBytes_(Matrix<Bytes>::square(topo.dcCount(), 0.0))
+    {
+        fatalIf(dyn_ != nullptr && dyn_->dcCount() != 0 &&
+                    dyn_->dcCount() != topo.dcCount(),
+                "Engine: dynamics compiled for a different cluster "
+                "size");
+    }
+
+    /** Install conditions of scenario time @p t; open bursts due in
+     *  (lastT, t] and close the expired ones. */
+    void
+    advanceTo(Seconds t)
+    {
+        if (dyn_ == nullptr)
+            return;
+        dyn_->applyAt(sim_, t);
+        cursor_.advanceTo(sim_, t, &burstBytes_);
+    }
+
+    /** Stop every remaining burst and settle the byte accounting. */
+    void
+    finish()
+    {
+        cursor_.finish(sim_, &burstBytes_);
+    }
+
+    const Matrix<Bytes> &burstBytes() const { return burstBytes_; }
+
+    /** Bytes the currently active bursts have moved so far. */
+    Matrix<Bytes>
+    activeBurstMoved(std::size_t n) const
+    {
+        Matrix<Bytes> out = Matrix<Bytes>::square(n, 0.0);
+        cursor_.accumulateMoved(sim_, out);
+        return out;
+    }
+
+  private:
+    const scenario::Dynamics *dyn_;
+    NetworkSim &sim_;
+    scenario::BurstCursor cursor_;
+    Matrix<Bytes> burstBytes_;
+};
 
 } // namespace
 
@@ -72,13 +131,19 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
     NetworkSim sim(topo_, simCfg_, runSeed);
     Rng rng(runSeed ^ 0xc0ffee);
 
+    // Scenario time zero is job start: install initial conditions
+    // before WANify snapshots the network, so prediction and planning
+    // see the scenario's opening state.
+    DynamicsState dynamics(opts.dynamics, sim, topo_);
+    dynamics.advanceTo(sim.now());
+
     // --- WANify deployment (Section 4.1) ---------------------------------
     core::GlobalPlan plan;
     core::Wanify::Deployment deployment;
     auto &agents = deployment.agents;
+    Matrix<Mbps> predicted;
     Seconds epoch = 1.0;
     if (opts.wanify != nullptr) {
-        Matrix<Mbps> predicted;
         if (opts.predictedBwOverride.has_value()) {
             predicted = *opts.predictedBwOverride;
         } else {
@@ -89,6 +154,19 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
         deployment = opts.wanify->deploy(sim, plan, predicted);
         epoch = opts.wanify->config().aimd.epoch;
     }
+
+    // Out-of-date model detection (Section 3.3.4): the paper
+    // intermittently compares predicted BWs against observed runtime
+    // values on the monitoring plane. The simulator's stand-in for
+    // that re-measurement is the shared capacity-factor gauge
+    // (core/drift.hh): quiet under stationary noise and WANify's own
+    // throttling, firing when the scenario moves real capacity away
+    // from what the model was calibrated on.
+    core::CapacityDriftGauge drift(
+        opts.wanify != nullptr ? opts.wanify->config().drift
+                               : core::DriftConfig{},
+        n);
+    drift.rebase(sim);
 
     auto connectionsFor = [&](DcId i, DcId j) -> int {
         if (!agents.empty())
@@ -109,6 +187,12 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
     for (DcId i = 0; i < n; ++i)
         for (DcId j = 0; j < n; ++j)
             bytesAtStart.at(i, j) = sim.pairBytes(i, j);
+
+    // WANify's own mid-run re-measurement probes (retrain path) are
+    // control-plane traffic: collected here and excluded from the
+    // query's bill, consistent with the initial snapshot (measured
+    // before bytesAtStart) and with flash-crowd bursts.
+    Matrix<Bytes> controlBytes = Matrix<Bytes>::square(n, 0.0);
 
     const Seconds jobStart = sim.now();
     std::vector<Bytes> stageInput = inputByDc;
@@ -170,6 +254,76 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
             }
             for (auto &agent : agents)
                 agent->onEpoch();
+            dynamics.advanceTo(sim.now());
+
+            if (opts.wanify != nullptr) {
+                drift.observe(sim);
+                result.driftObservations += drift.meshSize();
+                result.driftErrorFraction =
+                    std::max(result.driftErrorFraction,
+                             drift.errorFraction());
+                if (drift.needsRetraining()) {
+                    ++result.retrainTriggers;
+                    if (opts.adaptOnDrift &&
+                        !opts.predictedBwOverride.has_value() &&
+                        opts.wanify->trained()) {
+                        // The retraining path end to end: clear the
+                        // stale throttles, re-snapshot the live
+                        // network (this costs measurement time, as
+                        // in the paper), re-predict, re-plan, and
+                        // redeploy fresh agents.
+                        deployment.clear(sim);
+                        // Probe bytes = pair-byte growth over the
+                        // snapshot minus what the job's transfers
+                        // and any active scenario bursts moved
+                        // during it (bursts settle their own bill
+                        // via burstBytes when they stop).
+                        Matrix<Bytes> probe =
+                            Matrix<Bytes>::square(n, 0.0);
+                        for (DcId i = 0; i < n; ++i)
+                            for (DcId j = 0; j < n; ++j)
+                                probe.at(i, j) =
+                                    -sim.pairBytes(i, j);
+                        std::map<TransferId, Bytes> jobMoved;
+                        for (const auto &[id, t] : pending)
+                            jobMoved[id] =
+                                sim.status(id).bytesMoved;
+                        const Matrix<Bytes> burstBefore =
+                            dynamics.activeBurstMoved(n);
+                        predicted =
+                            opts.wanify->predictRuntimeBw(sim, rng);
+                        const Matrix<Bytes> burstAfter =
+                            dynamics.activeBurstMoved(n);
+                        for (DcId i = 0; i < n; ++i)
+                            for (DcId j = 0; j < n; ++j)
+                                probe.at(i, j) +=
+                                    sim.pairBytes(i, j) -
+                                    (burstAfter.at(i, j) -
+                                     burstBefore.at(i, j));
+                        for (const auto &[id, t] : pending)
+                            probe.at(t.src, t.dst) -=
+                                sim.status(id).bytesMoved -
+                                jobMoved[id];
+                        for (DcId i = 0; i < n; ++i)
+                            for (DcId j = 0; j < n; ++j)
+                                controlBytes.at(i, j) += std::max(
+                                    0.0, probe.at(i, j));
+                        plan = opts.wanify->plan(
+                            predicted, opts.skewWeights, opts.rvec);
+                        deployment = opts.wanify->deploy(sim, plan,
+                                                         predicted);
+                        for (auto &agent : agents) {
+                            agent->applyTargets();
+                            agent->resetWindow();
+                        }
+                        nextEpoch = sim.now();
+                    }
+                    // With or without the adaptive path, the model
+                    // is considered recalibrated on current
+                    // conditions from here.
+                    drift.rebase(sim);
+                }
+            }
             nextEpoch += epoch;
         }
 
@@ -222,6 +376,11 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
         }
         if (stageEnd > sim.now())
             sim.advanceBy(stageEnd - sim.now());
+        // Keep the scenario clock current through the compute phase
+        // so the next stage's shuffle starts under the right
+        // conditions (epoch-level granularity is enough: rates only
+        // matter while transfers are active).
+        dynamics.advanceTo(sim.now());
         stageResult.end = sim.now();
 
         result.stages.push_back(stageResult);
@@ -230,14 +389,20 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
 
     if (opts.wanify != nullptr)
         deployment.clear(sim);
+    dynamics.finish();
 
     result.latency = sim.now() - jobStart;
     for (DcId i = 0; i < n; ++i) {
         for (DcId j = 0; j < n; ++j) {
             if (i == j)
                 continue;
-            result.wanBytesByPair.at(i, j) =
-                sim.pairBytes(i, j) - bytesAtStart.at(i, j);
+            // Flash-crowd bursts are other tenants' data and the
+            // retrain probes are WANify's control plane: neither is
+            // billed to the query.
+            result.wanBytesByPair.at(i, j) = std::max(
+                0.0, sim.pairBytes(i, j) - bytesAtStart.at(i, j) -
+                         dynamics.burstBytes().at(i, j) -
+                         controlBytes.at(i, j));
         }
     }
 

@@ -32,6 +32,11 @@
 #include "net/network_sim.hh"
 
 namespace wanify {
+
+namespace scenario {
+class Dynamics;
+} // namespace scenario
+
 namespace gda {
 
 /** Per-stage outcome. */
@@ -56,6 +61,17 @@ struct QueryResult
     /** Min observed shuffle BW across stages (the paper's "minimum
      *  BW of the cluster"; 0 if the job moved no WAN data). */
     Mbps minObservedBw = 0.0;
+
+    // --- drift telemetry (Section 3.3.4; WANify runs only) -----------
+
+    /** Peak significant-error fraction the drift detector saw. */
+    double driftErrorFraction = 0.0;
+
+    /** Predicted-vs-monitored comparisons recorded. */
+    std::size_t driftObservations = 0;
+
+    /** Times the detector raised the retrain flag during the run. */
+    std::size_t retrainTriggers = 0;
 
     std::vector<StageResult> stages;
     Matrix<Bytes> wanBytesByPair;
@@ -88,6 +104,25 @@ struct RunOptions
 
     /** Refactoring matrix forwarded to WANify (empty = identity). */
     Matrix<double> rvec;
+
+    /**
+     * Non-stationary WAN dynamics (scenario timeline or trace
+     * replay) advanced every AIMD epoch. Scenario time zero is
+     * simulator start: WANify's initial measurement snapshot (~1 s)
+     * runs *inside* scenario time, so prediction sees the scenario's
+     * opening conditions and the job starts shortly after t = 0.
+     * Null = stationary OU noise only.
+     */
+    const scenario::Dynamics *dynamics = nullptr;
+
+    /**
+     * When the drift detector trips mid-run (WANify deployed, no
+     * predictedBwOverride), re-snapshot the live network, re-predict,
+     * re-plan, and redeploy the agents — the retraining path of
+     * Section 3.3.4. Off by default so the paper's static-conditions
+     * benches keep their exact semantics; scenario runs turn it on.
+     */
+    bool adaptOnDrift = false;
 
     /** Safety cap per stage. */
     Seconds maxStageSeconds = 6.0 * 3600.0;

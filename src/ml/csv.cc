@@ -1,6 +1,7 @@
 #include "ml/csv.hh"
 
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/error.hh"
@@ -28,7 +29,10 @@ writeCsv(std::ostream &out, const Dataset &data,
         out << ",y" << k;
     out << "\n";
 
-    out.precision(12);
+    // max_digits10: doubles survive the write/parse round trip
+    // exactly — scenario trace replay (scenario/trace.hh) depends on
+    // CSV not quantizing multipliers.
+    out.precision(std::numeric_limits<double>::max_digits10);
     for (std::size_t i = 0; i < data.size(); ++i) {
         const auto &x = data.x(i);
         const auto &y = data.y(i);

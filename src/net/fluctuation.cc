@@ -10,15 +10,26 @@ namespace net {
 OuProcess::OuProcess(FluctuationParams params, Rng rng)
     : params_(params), rng_(rng)
 {
-    fatalIf(params_.theta <= 0.0, "OuProcess: theta must be positive");
-    fatalIf(params_.logSigma < 0.0, "OuProcess: logSigma must be >= 0");
+    fatalIf(!std::isfinite(params_.theta) || params_.theta <= 0.0,
+            "OuProcess: theta must be positive and finite");
+    fatalIf(!std::isfinite(params_.logSigma) || params_.logSigma < 0.0,
+            "OuProcess: logSigma must be >= 0 and finite");
     reseedStationary();
+}
+
+bool
+OuProcess::active() const
+{
+    return params_.enabled && params_.logSigma > 0.0;
 }
 
 void
 OuProcess::reseedStationary()
 {
-    if (!params_.enabled || params_.logSigma == 0.0) {
+    // A disabled (or zero-sigma) process pins X at 0 and leaves the
+    // RNG untouched, so toggling `enabled` in a config cannot shift
+    // the streams of any other seeded component.
+    if (!active()) {
         x_ = 0.0;
         return;
     }
@@ -28,22 +39,30 @@ OuProcess::reseedStationary()
 double
 OuProcess::step(Seconds dt)
 {
-    if (!params_.enabled || params_.logSigma == 0.0)
+    if (!active())
         return 1.0;
-    panicIf(dt < 0.0, "OuProcess::step: negative dt");
+    // dt <= 0 and NaN are no-ops: see the header. Consuming noise for
+    // a zero-length step would bias nothing statistically but would
+    // desynchronize replays that mix zero- and nonzero-length ticks.
+    if (!(dt > 0.0))
+        return multiplier();
     // Exact OU discretization with stationary SD sigma:
     //   X' = X e^{-theta dt} + N(0, sigma sqrt(1 - e^{-2 theta dt}))
     const double decay = std::exp(-params_.theta * dt);
     const double noiseSd =
         params_.logSigma * std::sqrt(1.0 - decay * decay);
     x_ = x_ * decay + rng_.normal(0.0, noiseSd);
+    // Defensive: a non-finite state would poison every rate solve
+    // from here on; snap back to the mean instead.
+    if (!std::isfinite(x_))
+        x_ = 0.0;
     return multiplier();
 }
 
 double
 OuProcess::multiplier() const
 {
-    if (!params_.enabled || params_.logSigma == 0.0)
+    if (!active())
         return 1.0;
     // Subtract half the variance so the multiplier has mean ~1.
     return std::exp(x_ - 0.5 * params_.logSigma * params_.logSigma);

@@ -44,7 +44,13 @@ class OuProcess
   public:
     OuProcess(FluctuationParams params, Rng rng);
 
-    /** Advance the process by @p dt and return the new multiplier. */
+    /**
+     * Advance the process by @p dt and return the new multiplier.
+     *
+     * @p dt <= 0 (or NaN) is a no-op returning the current
+     * multiplier: no time has passed, and drawing noise for it would
+     * perturb the RNG stream of every later step.
+     */
     double step(Seconds dt);
 
     /** Current multiplier exp(X). */
@@ -52,6 +58,9 @@ class OuProcess
 
     /** Draw the state from the stationary distribution. */
     void reseedStationary();
+
+    /** True when the process actually fluctuates (enabled, sigma > 0). */
+    bool active() const;
 
   private:
     FluctuationParams params_;

@@ -1,6 +1,7 @@
 #include "net/network_sim.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/error.hh"
@@ -37,6 +38,8 @@ NetworkSim::NetworkSim(Topology topology, NetworkSimConfig config,
                      seed ^ 0xabcdef1234567ULL),
       nextTick_(config.tickInterval),
       tcLimits_(topology_.pairCount(), 0.0),
+      scenarioCap_(topology_.pairCount(), 1.0),
+      scenarioRtt_(topology_.pairCount(), 1.0),
       pairBytes_(Matrix<Bytes>::square(topology_.dcCount(), 0.0))
 {
     fatalIf(config_.tickInterval <= 0.0,
@@ -119,6 +122,50 @@ NetworkSim::clearTcLimits()
 }
 
 void
+NetworkSim::setScenarioCapFactor(DcId src, DcId dst, double factor)
+{
+    fatalIf(!std::isfinite(factor) || factor < 0.0,
+            "setScenarioCapFactor: factor must be finite and >= 0");
+    const std::size_t pair = topology_.pairIndex(src, dst);
+    if (scenarioCap_[pair] != factor) {
+        scenarioCap_[pair] = factor;
+        ratesDirty_ = true;
+    }
+}
+
+void
+NetworkSim::setScenarioRttFactor(DcId src, DcId dst, double factor)
+{
+    fatalIf(!std::isfinite(factor) || factor <= 0.0,
+            "setScenarioRttFactor: factor must be finite and > 0");
+    const std::size_t pair = topology_.pairIndex(src, dst);
+    if (scenarioRtt_[pair] != factor) {
+        scenarioRtt_[pair] = factor;
+        ratesDirty_ = true;
+    }
+}
+
+void
+NetworkSim::clearScenarioFactors()
+{
+    std::fill(scenarioCap_.begin(), scenarioCap_.end(), 1.0);
+    std::fill(scenarioRtt_.begin(), scenarioRtt_.end(), 1.0);
+    ratesDirty_ = true;
+}
+
+double
+NetworkSim::scenarioCapFactor(DcId src, DcId dst) const
+{
+    return scenarioCap_[topology_.pairIndex(src, dst)];
+}
+
+double
+NetworkSim::scenarioRttFactor(DcId src, DcId dst) const
+{
+    return scenarioRtt_[topology_.pairIndex(src, dst)];
+}
+
+void
 NetworkSim::resolveRates()
 {
     const std::size_t n = topology_.dcCount();
@@ -139,8 +186,9 @@ NetworkSim::resolveRates()
     for (DcId i = 0; i < n; ++i) {
         for (DcId j = 0; j < n; ++j) {
             const std::size_t pair = topology_.pairIndex(i, j);
-            double mult =
-                i == j ? 1.0 : fluctuation_.multiplier(pair);
+            double mult = i == j ? 1.0
+                                 : fluctuation_.multiplier(pair) *
+                                       scenarioCap_[pair];
             inputs.pathCap[pair] = topology_.pathCap(i, j) * mult;
         }
     }
@@ -163,8 +211,10 @@ NetworkSim::resolveRates()
         // contention without affecting their solo throughput — the
         // asymmetry that makes statically measured BWs mis-rank links
         // at runtime (Table 1 / Section 2.2).
-        const Seconds rtt =
-            std::max(topology_.rttSeconds(t.srcDc, t.dstDc), 1.0e-3);
+        const Seconds rtt = std::max(
+            topology_.rttSeconds(t.srcDc, t.dstDc) *
+                scenarioRtt_[topology_.pairIndex(t.srcDc, t.dstDc)],
+            1.0e-3);
         spec.weightPerConn =
             topology_.routeQuality(t.srcDc, t.dstDc) / (rtt * rtt);
         spec.capPerConn = topology_.connCap(t.srcDc, t.dstDc);
@@ -395,7 +445,8 @@ NetworkSim::effectivePathCap(DcId src, DcId dst) const
     if (src == dst)
         return topology_.pathCap(src, dst);
     const std::size_t pair = topology_.pairIndex(src, dst);
-    return topology_.pathCap(src, dst) * fluctuation_.multiplier(pair);
+    return topology_.pathCap(src, dst) *
+           fluctuation_.multiplier(pair) * scenarioCap_[pair];
 }
 
 std::vector<TransferId>

@@ -94,6 +94,30 @@ class NetworkSim
     /** Remove all tc throttles. */
     void clearTcLimits();
 
+    // --- scenario overrides ------------------------------------------------
+    //
+    // The scenario engine (src/scenario/) drives non-stationary WAN
+    // dynamics — diurnal cycles, degradation, outages, trace replay —
+    // through these per-pair factors. They multiply into the
+    // OU-fluctuated path capacity (and the pair RTT used for TCP
+    // share weighting), so scripted dynamics and stationary noise
+    // compose.
+
+    /**
+     * Scenario capacity factor for an ordered DC pair (1 = nominal,
+     * 0 = hard outage). Must be finite and >= 0.
+     */
+    void setScenarioCapFactor(DcId src, DcId dst, double factor);
+
+    /** Scenario RTT inflation factor for a pair. Must be finite, > 0. */
+    void setScenarioRttFactor(DcId src, DcId dst, double factor);
+
+    /** Reset every scenario factor to 1. */
+    void clearScenarioFactors();
+
+    double scenarioCapFactor(DcId src, DcId dst) const;
+    double scenarioRttFactor(DcId src, DcId dst) const;
+
     // --- time -------------------------------------------------------------
 
     /** Advance simulated time by exactly @p dt. */
@@ -195,6 +219,8 @@ class NetworkSim
     std::map<TransferId, Transfer> completed_;
     std::vector<CompletionRecord> completions_;
     std::vector<Mbps> tcLimits_;      ///< per ordered pair; <=0 = none
+    std::vector<double> scenarioCap_; ///< per ordered pair; default 1
+    std::vector<double> scenarioRtt_; ///< per ordered pair; default 1
     Matrix<Bytes> pairBytes_;
 };
 

@@ -1,0 +1,220 @@
+#include "scenario/library.hh"
+
+#include "common/error.hh"
+
+namespace wanify {
+namespace scenario {
+
+namespace {
+
+ScenarioEvent
+event(EventKind kind, int src, int dst, Seconds start,
+      Seconds duration, double magnitude)
+{
+    ScenarioEvent ev;
+    ev.kind = kind;
+    ev.src = src;
+    ev.dst = dst;
+    ev.start = start;
+    ev.duration = duration;
+    ev.magnitude = magnitude;
+    return ev;
+}
+
+ScenarioSpec
+steady()
+{
+    ScenarioSpec spec;
+    spec.name = "steady";
+    spec.description =
+        "No scripted events: stationary OU noise only. The control "
+        "every other scenario is compared against.";
+    spec.horizon = 120.0;
+    return spec;
+}
+
+ScenarioSpec
+diurnal()
+{
+    ScenarioSpec spec;
+    spec.name = "diurnal";
+    spec.description =
+        "All-pairs sinusoidal capacity cycle (trough 55% of nominal), "
+        "a compressed day: runtime BW drifts away from any static "
+        "measurement taken at the crest.";
+    spec.horizon = 480.0;
+    ScenarioEvent ev =
+        event(EventKind::Diurnal, kAnyDc, kAnyDc, 0.0, kForever, 0.45);
+    ev.period = 240.0;
+    spec.events.push_back(ev);
+    return spec;
+}
+
+ScenarioSpec
+degradingLink()
+{
+    ScenarioSpec spec;
+    spec.name = "degrading-link";
+    spec.description =
+        "The DC0<->DC3 backbone path loses 80% of its capacity over a "
+        "2-minute ramp and stays degraded — the slow-burn failure a "
+        "one-shot measurement can never reflect.";
+    spec.horizon = 300.0;
+    spec.events.push_back(
+        event(EventKind::Degradation, 0, 3, 40.0, 120.0, 0.8));
+    spec.events.push_back(
+        event(EventKind::Degradation, 3, 0, 40.0, 120.0, 0.8));
+    return spec;
+}
+
+ScenarioSpec
+dcOutage()
+{
+    ScenarioSpec spec;
+    spec.name = "dc-outage";
+    spec.description =
+        "DC3 drops to 2% of nominal capacity in both directions for "
+        "90 s, then recovers — the hard failure/recovery cycle that "
+        "must trip the drift detector.";
+    spec.horizon = 240.0;
+    ScenarioEvent out = event(EventKind::Outage, 3, kAnyDc, 60.0,
+                              90.0, 0.0);
+    out.residual = 0.02;
+    spec.events.push_back(out);
+    out.src = kAnyDc;
+    out.dst = 3;
+    spec.events.push_back(out);
+    return spec;
+}
+
+ScenarioSpec
+flashCrowd()
+{
+    ScenarioSpec spec;
+    spec.name = "flash-crowd";
+    spec.description =
+        "Background flows from every DC flood into DC0 for 90 s while "
+        "its RTTs inflate 50% — tenant contention the job's transfers "
+        "must share the WAN with.";
+    spec.horizon = 240.0;
+    ScenarioEvent crowd = event(EventKind::FlashCrowd, kAnyDc, 0,
+                                45.0, 90.0, 0.0);
+    crowd.burstConnections = 6;
+    spec.events.push_back(crowd);
+    spec.events.push_back(
+        event(EventKind::RttInflation, kAnyDc, 0, 45.0, 90.0, 0.5));
+    return spec;
+}
+
+ScenarioSpec
+maintenance()
+{
+    ScenarioSpec spec;
+    spec.name = "maintenance";
+    spec.description =
+        "Provider maintenance halves DC2's capacity (both directions) "
+        "for 150 s with mild RTT inflation — the scheduled partial "
+        "outage operators announce but schedulers rarely honor.";
+    spec.horizon = 300.0;
+    spec.events.push_back(
+        event(EventKind::Maintenance, 2, kAnyDc, 60.0, 150.0, 0.5));
+    spec.events.push_back(
+        event(EventKind::Maintenance, kAnyDc, 2, 60.0, 150.0, 0.5));
+    spec.events.push_back(
+        event(EventKind::RttInflation, 2, kAnyDc, 60.0, 150.0, 0.25));
+    return spec;
+}
+
+ScenarioSpec
+rttStorm()
+{
+    ScenarioSpec spec;
+    spec.name = "rtt-storm";
+    spec.description =
+        "Route flaps inflate every pair's RTT 150% for 2 minutes with "
+        "a shallow capacity dip: loss-free slowdown that reshuffles "
+        "TCP's bandwidth shares without changing link capacity much.";
+    spec.horizon = 240.0;
+    spec.events.push_back(
+        event(EventKind::RttInflation, kAnyDc, kAnyDc, 30.0, 120.0,
+              1.5));
+    spec.events.push_back(
+        event(EventKind::Maintenance, kAnyDc, kAnyDc, 30.0, 120.0,
+              0.15));
+    return spec;
+}
+
+ScenarioSpec
+cascading()
+{
+    ScenarioSpec spec;
+    spec.name = "cascading";
+    spec.description =
+        "Compound failure: a diurnal baseline, DC0->DC1 degrading "
+        "from t=20, a DC1 outage at t=120, and a flash crowd into DC0 "
+        "at t=220 — the adversarial everything-at-once case.";
+    spec.horizon = 360.0;
+    ScenarioEvent day =
+        event(EventKind::Diurnal, kAnyDc, kAnyDc, 0.0, kForever, 0.3);
+    day.period = 200.0;
+    spec.events.push_back(day);
+    spec.events.push_back(
+        event(EventKind::Degradation, 0, 1, 20.0, 60.0, 0.6));
+    ScenarioEvent out =
+        event(EventKind::Outage, 1, kAnyDc, 120.0, 60.0, 0.0);
+    out.residual = 0.05;
+    spec.events.push_back(out);
+    out.src = kAnyDc;
+    out.dst = 1;
+    spec.events.push_back(out);
+    ScenarioEvent crowd = event(EventKind::FlashCrowd, kAnyDc, 0,
+                                220.0, 60.0, 0.0);
+    crowd.burstConnections = 4;
+    spec.events.push_back(crowd);
+    return spec;
+}
+
+} // namespace
+
+std::vector<std::string>
+libraryScenarioNames()
+{
+    return {"steady",      "diurnal",     "degrading-link",
+            "dc-outage",   "flash-crowd", "maintenance",
+            "rtt-storm",   "cascading"};
+}
+
+ScenarioSpec
+libraryScenario(const std::string &name)
+{
+    if (name == "steady")
+        return steady();
+    if (name == "diurnal")
+        return diurnal();
+    if (name == "degrading-link")
+        return degradingLink();
+    if (name == "dc-outage")
+        return dcOutage();
+    if (name == "flash-crowd")
+        return flashCrowd();
+    if (name == "maintenance")
+        return maintenance();
+    if (name == "rtt-storm")
+        return rttStorm();
+    if (name == "cascading")
+        return cascading();
+    fatal("unknown scenario: " + name +
+          " (see wanify-scenario list)");
+}
+
+bool
+isLibraryScenario(const std::string &name)
+{
+    for (const auto &n : libraryScenarioNames())
+        if (n == name)
+            return true;
+    return false;
+}
+
+} // namespace scenario
+} // namespace wanify

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Built-in library of named WAN scenarios.
+ *
+ * Each scenario is a declarative ScenarioSpec reproducing a class of
+ * runtime dynamics the paper motivates (Section 2.2, Fig. 9) or that
+ * related geo-distributed systems evaluate against: steady state,
+ * diurnal cycles, progressive degradation, DC outage/recovery, flash
+ * crowds, maintenance windows, RTT storms, and a cascading failure.
+ * All specs reference only DC ids 0-3 so they compile for any cluster
+ * of >= 4 DCs; timings assume the paper's 5-second AIMD epoch.
+ */
+
+#ifndef WANIFY_SCENARIO_LIBRARY_HH
+#define WANIFY_SCENARIO_LIBRARY_HH
+
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.hh"
+
+namespace wanify {
+namespace scenario {
+
+/** Names of the built-in scenarios, in presentation order. */
+std::vector<std::string> libraryScenarioNames();
+
+/** Look up a built-in scenario by name; fatal() on unknown names. */
+ScenarioSpec libraryScenario(const std::string &name);
+
+/** True when @p name is a built-in scenario. */
+bool isLibraryScenario(const std::string &name);
+
+} // namespace scenario
+} // namespace wanify
+
+#endif // WANIFY_SCENARIO_LIBRARY_HH

@@ -1,0 +1,150 @@
+#include "scenario/trace.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hh"
+#include "common/rng.hh"
+#include "ml/csv.hh"
+
+namespace wanify {
+namespace scenario {
+
+namespace {
+
+std::uint64_t
+doubleBits(double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v), "64-bit doubles");
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+} // namespace
+
+void
+BwTrace::add(Seconds t, std::vector<double> multipliers)
+{
+    fatalIf(dcs == 0, "BwTrace::add: dcs not set");
+    fatalIf(multipliers.size() != dcs * dcs,
+            "BwTrace::add: multiplier count mismatch");
+    fatalIf(!times.empty() && t <= times.back(),
+            "BwTrace::add: times must be strictly increasing");
+    times.push_back(t);
+    rows.push_back(std::move(multipliers));
+}
+
+bool
+BwTrace::identical(const BwTrace &other) const
+{
+    return dcs == other.dcs && times == other.times &&
+           rows == other.rows;
+}
+
+std::uint64_t
+BwTrace::hash() const
+{
+    std::uint64_t state = 0x77414e6966790000ULL ^ dcs;
+    for (std::size_t k = 0; k < times.size(); ++k) {
+        state ^= doubleBits(times[k]);
+        splitmix64(state);
+        for (double m : rows[k]) {
+            state ^= doubleBits(m);
+            splitmix64(state);
+        }
+    }
+    std::uint64_t digest = state;
+    return splitmix64(digest);
+}
+
+ml::Dataset
+BwTrace::toDataset() const
+{
+    fatalIf(dcs == 0, "BwTrace::toDataset: empty trace");
+    ml::Dataset data(1, dcs * dcs);
+    for (std::size_t k = 0; k < times.size(); ++k)
+        data.add({times[k]}, rows[k]);
+    return data;
+}
+
+BwTrace
+BwTrace::fromDataset(const ml::Dataset &data)
+{
+    fatalIf(data.featureCount() != 1,
+            "BwTrace::fromDataset: expected a single `t` feature");
+    std::size_t n = 0;
+    while (n * n < data.outputCount())
+        ++n;
+    fatalIf(n * n != data.outputCount() || n < 2,
+            "BwTrace::fromDataset: target count is not a DC-pair "
+            "square");
+    BwTrace trace;
+    trace.dcs = n;
+    for (std::size_t i = 0; i < data.size(); ++i)
+        trace.add(data.x(i)[0], data.y(i));
+    return trace;
+}
+
+void
+writeTraceCsv(const std::string &path, const BwTrace &trace)
+{
+    ml::writeCsvFile(path, trace.toDataset(), {"t"});
+}
+
+BwTrace
+readTraceCsv(const std::string &path)
+{
+    return BwTrace::fromDataset(ml::readCsvFile(path));
+}
+
+std::vector<double>
+capturedMultipliers(const net::NetworkSim &sim)
+{
+    const auto &topo = sim.topology();
+    const std::size_t n = topo.dcCount();
+    std::vector<double> out(n * n, 1.0);
+    for (net::DcId i = 0; i < n; ++i) {
+        for (net::DcId j = 0; j < n; ++j) {
+            if (i == j)
+                continue;
+            const Mbps nominal = topo.pathCap(i, j);
+            if (nominal > 0.0)
+                out[i * n + j] =
+                    sim.effectivePathCap(i, j) / nominal;
+        }
+    }
+    return out;
+}
+
+TraceReplay::TraceReplay(BwTrace trace) : trace_(std::move(trace))
+{
+    fatalIf(trace_.empty(), "TraceReplay: empty trace");
+}
+
+void
+TraceReplay::applyAt(net::NetworkSim &sim, Seconds t) const
+{
+    const std::size_t n = trace_.dcs;
+    fatalIf(sim.topology().dcCount() != n,
+            "TraceReplay: trace recorded for a different cluster "
+            "size");
+    // Interval-end semantics: the row whose window (t_{k-1}, t_k]
+    // contains the *next* instant after t. The microsecond slack
+    // absorbs accumulated float error between the recording and the
+    // replaying simulator clocks at epoch boundaries.
+    const auto it = std::upper_bound(trace_.times.begin(),
+                                     trace_.times.end(), t + 1.0e-6);
+    const std::size_t k =
+        it == trace_.times.end()
+            ? trace_.times.size() - 1
+            : static_cast<std::size_t>(it - trace_.times.begin());
+    const auto &row = trace_.rows[k];
+    for (net::DcId i = 0; i < n; ++i)
+        for (net::DcId j = 0; j < n; ++j)
+            if (i != j)
+                sim.setScenarioCapFactor(i, j, row[i * n + j]);
+}
+
+} // namespace scenario
+} // namespace wanify

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Bandwidth trace record and replay.
+ *
+ * A BwTrace is a time series of effective per-pair capacity
+ * multipliers sampled from a live simulation (OU fluctuation ×
+ * scenario factors). Persisted as CSV through the dataset round-trip
+ * in ml/csv.* (one feature column `t`, one target column per ordered
+ * DC pair; written at max_digits10 so doubles survive the round trip
+ * exactly), a captured timeline can be re-run: TraceReplay plays the
+ * samples back through the NetworkSim scenario hooks on a
+ * fluctuation-free simulator, reproducing each recorded effective
+ * capacity to within one floating-point rounding (the nominal cap is
+ * divided out on record and multiplied back on replay). Sample
+ * timestamps mark interval *ends*: replay holds row k over
+ * (t_{k-1}, t_k]. Two caveats: replaying a replayed trace IS
+ * bit-exact (the medium is closed under replay), and a replay's
+ * *drift telemetry* is recomputed on the replayed medium — recorded
+ * OU noise rides in the multipliers and reads as scenario capacity
+ * there, so a replay can report slightly different drift fractions
+ * than the original run while the trace itself matches.
+ */
+
+#ifndef WANIFY_SCENARIO_TRACE_HH
+#define WANIFY_SCENARIO_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hh"
+#include "scenario/scenario.hh"
+
+namespace wanify {
+namespace scenario {
+
+/** A recorded timeline of per-pair capacity multipliers. */
+struct BwTrace
+{
+    /** Cluster size; rows hold dcs * dcs multipliers (src * n + dst). */
+    std::size_t dcs = 0;
+
+    std::vector<Seconds> times;
+    std::vector<std::vector<double>> rows;
+
+    /** Append one sample; multipliers.size() must equal dcs * dcs. */
+    void add(Seconds t, std::vector<double> multipliers);
+
+    std::size_t size() const { return times.size(); }
+    bool empty() const { return times.empty(); }
+
+    /** Exact (bitwise) equality with another trace. */
+    bool identical(const BwTrace &other) const;
+
+    /** Order-sensitive splitmix64 digest of every sample bit. */
+    std::uint64_t hash() const;
+
+    /** Convert to a dataset (feature `t`, targets y0..y_{n*n-1}). */
+    ml::Dataset toDataset() const;
+
+    /** Rebuild from a dataset written by toDataset(). */
+    static BwTrace fromDataset(const ml::Dataset &data);
+};
+
+/** Write a trace as CSV; fatal() on I/O failure. */
+void writeTraceCsv(const std::string &path, const BwTrace &trace);
+
+/** Read a trace written by writeTraceCsv; fatal() on I/O failure. */
+BwTrace readTraceCsv(const std::string &path);
+
+/**
+ * Sample the effective capacity multiplier of every ordered pair of
+ * @p sim right now (effectivePathCap / nominal pathCap; 1 on the
+ * diagonal and wherever the nominal capacity is not positive).
+ */
+std::vector<double> capturedMultipliers(const net::NetworkSim &sim);
+
+/** Replays a recorded trace through the scenario-override hooks. */
+class TraceReplay : public Dynamics
+{
+  public:
+    explicit TraceReplay(BwTrace trace);
+
+    std::size_t dcCount() const override { return trace_.dcs; }
+
+    /** Install the row covering time @p t (interval-end semantics:
+     *  the earliest sample with time > t; the last row once t is at
+     *  or beyond the final timestamp). */
+    void applyAt(net::NetworkSim &sim, Seconds t) const override;
+
+    const BwTrace &trace() const { return trace_; }
+
+  private:
+    BwTrace trace_;
+};
+
+} // namespace scenario
+} // namespace wanify
+
+#endif // WANIFY_SCENARIO_TRACE_HH

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "common/error.hh"
 #include "common/stats.hh"
 #include "net/flow_solver.hh"
@@ -136,6 +139,55 @@ TEST(Fluctuation, BankProcessesAreIndependent)
     for (std::size_t i = 1; i < bank.size(); ++i)
         anyDifferent |= bank.multiplier(i) != bank.multiplier(0);
     EXPECT_TRUE(anyDifferent);
+}
+
+TEST(Fluctuation, ZeroStepDoesNotPerturbTheStream)
+{
+    // step(0) (and negative / NaN dt) must not consume RNG state:
+    // interleaving zero-length steps must leave the stream exactly
+    // where back-to-back real steps would.
+    FluctuationParams params;
+    OuProcess a(params, Rng(99));
+    OuProcess b(params, Rng(99));
+    a.step(1.0);
+    b.step(1.0);
+    const double before = a.multiplier();
+    EXPECT_DOUBLE_EQ(a.step(0.0), before);
+    EXPECT_DOUBLE_EQ(a.step(-1.0), before);
+    EXPECT_DOUBLE_EQ(a.step(std::nan("")), before);
+    EXPECT_DOUBLE_EQ(a.step(1.0), b.step(1.0));
+}
+
+TEST(Fluctuation, DisabledConsistentInInitAndStep)
+{
+    FluctuationParams params;
+    params.enabled = false;
+    OuProcess p(params, Rng(1));
+    // Stationary init honors the flag: multiplier is exactly 1
+    // before any step, after zero steps, and after real steps.
+    EXPECT_DOUBLE_EQ(p.multiplier(), 1.0);
+    EXPECT_DOUBLE_EQ(p.step(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(p.step(5.0), 1.0);
+    p.reseedStationary();
+    EXPECT_DOUBLE_EQ(p.multiplier(), 1.0);
+    EXPECT_FALSE(p.active());
+
+    // Zero sigma behaves identically to disabled.
+    FluctuationParams zero;
+    zero.logSigma = 0.0;
+    OuProcess q(zero, Rng(1));
+    EXPECT_FALSE(q.active());
+    EXPECT_DOUBLE_EQ(q.step(5.0), 1.0);
+}
+
+TEST(Fluctuation, RejectsNonFiniteParams)
+{
+    FluctuationParams params;
+    params.theta = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(OuProcess(params, Rng(1)), FatalError);
+    params.theta = 0.08;
+    params.logSigma = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(OuProcess(params, Rng(1)), FatalError);
 }
 
 // ---- topology --------------------------------------------------------------
@@ -500,6 +552,46 @@ TEST(NetworkSim, DeterministicAcrossRuns)
         return sim.runUntilAllComplete();
     };
     EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(NetworkSim, ScenarioCapFactorScalesEffectiveCapacity)
+{
+    NetworkSim sim(paperTopo(2), quiet(), 1);
+    const Mbps nominal = sim.effectivePathCap(0, 1);
+    sim.setScenarioCapFactor(0, 1, 0.25);
+    EXPECT_NEAR(sim.effectivePathCap(0, 1), 0.25 * nominal, 1e-9);
+    // The reverse direction is untouched.
+    EXPECT_NEAR(sim.effectivePathCap(1, 0), nominal, 1e-9);
+    sim.clearScenarioFactors();
+    EXPECT_NEAR(sim.effectivePathCap(0, 1), nominal, 1e-9);
+}
+
+TEST(NetworkSim, ScenarioOutageStallsAndRecoveryReleases)
+{
+    NetworkSim sim(paperTopo(2), quiet(), 1);
+    const auto id = sim.startMeasurement(0, 1, 8);
+    sim.advanceBy(1.0);
+    const Mbps before = sim.transferRate(id);
+    EXPECT_GT(before, 500.0);
+    sim.setScenarioCapFactor(0, 1, 0.01);
+    sim.advanceBy(1.0);
+    EXPECT_LT(sim.transferRate(id), 0.05 * before);
+    sim.setScenarioCapFactor(0, 1, 1.0);
+    sim.advanceBy(1.0);
+    EXPECT_NEAR(sim.transferRate(id), before, 1e-6);
+}
+
+TEST(NetworkSim, ScenarioFactorsValidated)
+{
+    NetworkSim sim(paperTopo(2), quiet(), 1);
+    EXPECT_THROW(sim.setScenarioCapFactor(0, 1, -0.5), FatalError);
+    EXPECT_THROW(
+        sim.setScenarioCapFactor(0, 1,
+                                 std::numeric_limits<double>::
+                                     quiet_NaN()),
+        FatalError);
+    EXPECT_THROW(sim.setScenarioRttFactor(0, 1, 0.0), FatalError);
+    EXPECT_DOUBLE_EQ(sim.scenarioCapFactor(0, 1), 1.0);
 }
 
 TEST(NetworkSim, RetransScoreRisesUnderContention)

@@ -1,0 +1,437 @@
+/**
+ * @file
+ * Tests for the scenario engine: event semantics, deterministic
+ * replay, CSV trace round-trips, the drift detector firing end to
+ * end, and engine/runner integration under dynamics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/error.hh"
+#include "experiments/predictor_factory.hh"
+#include "experiments/runner.hh"
+#include "experiments/testbed.hh"
+#include "gda/engine.hh"
+#include "sched/locality.hh"
+#include "scenario/driver.hh"
+#include "scenario/library.hh"
+#include "scenario/trace.hh"
+#include "storage/hdfs.hh"
+#include "workloads/terasort.hh"
+
+using namespace wanify;
+using namespace wanify::scenario;
+
+namespace {
+
+net::Topology
+topo4()
+{
+    return experiments::workerCluster(4, 2);
+}
+
+/** A temp file path unique to this test binary. */
+std::string
+tmpPath(const std::string &name)
+{
+    return ::testing::TempDir() + "wanify_scenario_" + name;
+}
+
+} // namespace
+
+// ---- timeline event semantics ----------------------------------------------
+
+TEST(ScenarioTimeline, OutageWindowAndRecovery)
+{
+    ScenarioSpec spec;
+    spec.name = "t";
+    ScenarioEvent ev;
+    ev.kind = EventKind::Outage;
+    ev.src = 1;
+    ev.dst = kAnyDc;
+    ev.start = 10.0;
+    ev.duration = 20.0;
+    ev.residual = 0.05;
+    spec.events.push_back(ev);
+    const ScenarioTimeline timeline(spec, 4, 1);
+
+    EXPECT_DOUBLE_EQ(timeline.capFactor(1, 2, 9.9), 1.0);
+    EXPECT_DOUBLE_EQ(timeline.capFactor(1, 2, 10.0), 0.05);
+    EXPECT_DOUBLE_EQ(timeline.capFactor(1, 2, 29.9), 0.05);
+    EXPECT_DOUBLE_EQ(timeline.capFactor(1, 2, 30.0), 1.0);
+    // Selector: only row 1 is affected.
+    EXPECT_DOUBLE_EQ(timeline.capFactor(2, 1, 15.0), 1.0);
+    // Diagonal is always 1.
+    EXPECT_DOUBLE_EQ(timeline.capFactor(1, 1, 15.0), 1.0);
+}
+
+TEST(ScenarioTimeline, DiurnalBoundsAndPeriodicity)
+{
+    ScenarioSpec spec;
+    spec.name = "t";
+    ScenarioEvent ev;
+    ev.kind = EventKind::Diurnal;
+    ev.start = 0.0;
+    ev.magnitude = 0.4;
+    ev.period = 100.0;
+    spec.events.push_back(ev);
+    const ScenarioTimeline timeline(spec, 4, 1);
+
+    for (double t = 0.0; t <= 300.0; t += 7.0) {
+        const double f = timeline.capFactor(0, 1, t);
+        EXPECT_GE(f, 0.6 - 1e-12);
+        EXPECT_LE(f, 1.0 + 1e-12);
+    }
+    EXPECT_NEAR(timeline.capFactor(0, 1, 0.0), 1.0, 1e-12);
+    EXPECT_NEAR(timeline.capFactor(0, 1, 50.0), 0.6, 1e-12);
+    EXPECT_NEAR(timeline.capFactor(0, 1, 100.0), 1.0, 1e-12);
+}
+
+TEST(ScenarioTimeline, DegradationRampsAndHolds)
+{
+    ScenarioSpec spec;
+    spec.name = "t";
+    ScenarioEvent ev;
+    ev.kind = EventKind::Degradation;
+    ev.src = 0;
+    ev.dst = 3;
+    ev.start = 10.0;
+    ev.duration = 40.0;
+    ev.magnitude = 0.8;
+    spec.events.push_back(ev);
+    const ScenarioTimeline timeline(spec, 4, 1);
+
+    EXPECT_DOUBLE_EQ(timeline.capFactor(0, 3, 5.0), 1.0);
+    EXPECT_NEAR(timeline.capFactor(0, 3, 30.0), 0.6, 1e-12);
+    EXPECT_NEAR(timeline.capFactor(0, 3, 50.0), 0.2, 1e-12);
+    EXPECT_NEAR(timeline.capFactor(0, 3, 500.0), 0.2, 1e-12);
+}
+
+TEST(ScenarioTimeline, RttInflationOnlyTouchesRtt)
+{
+    ScenarioSpec spec;
+    spec.name = "t";
+    ScenarioEvent ev;
+    ev.kind = EventKind::RttInflation;
+    ev.start = 0.0;
+    ev.duration = 50.0;
+    ev.magnitude = 1.5;
+    spec.events.push_back(ev);
+    const ScenarioTimeline timeline(spec, 4, 1);
+
+    EXPECT_DOUBLE_EQ(timeline.capFactor(0, 1, 25.0), 1.0);
+    EXPECT_DOUBLE_EQ(timeline.rttFactor(0, 1, 25.0), 2.5);
+    EXPECT_DOUBLE_EQ(timeline.rttFactor(0, 1, 60.0), 1.0);
+}
+
+TEST(ScenarioTimeline, ValidatesEvents)
+{
+    ScenarioSpec spec;
+    spec.name = "t";
+    ScenarioEvent ev;
+    ev.kind = EventKind::Outage;
+    ev.src = 9; // out of range for 4 DCs
+    spec.events.push_back(ev);
+    EXPECT_THROW(ScenarioTimeline(spec, 4, 1), FatalError);
+
+    spec.events[0].src = 0;
+    spec.events[0].magnitude = 1.5;
+    EXPECT_THROW(ScenarioTimeline(spec, 4, 1), FatalError);
+}
+
+TEST(ScenarioTimeline, JitterIsDeterministicPerSeed)
+{
+    ScenarioSpec spec;
+    spec.name = "t";
+    ScenarioEvent ev;
+    ev.kind = EventKind::Outage;
+    ev.start = 50.0;
+    ev.duration = 10.0;
+    ev.startJitter = 40.0;
+    spec.events.push_back(ev);
+
+    const ScenarioTimeline a(spec, 4, 7);
+    const ScenarioTimeline b(spec, 4, 7);
+    const ScenarioTimeline c(spec, 4, 8);
+    bool anyDiffer = false;
+    for (double t = 40.0; t <= 110.0; t += 1.0) {
+        EXPECT_DOUBLE_EQ(a.capFactor(0, 1, t), b.capFactor(0, 1, t));
+        anyDiffer |=
+            a.capFactor(0, 1, t) != c.capFactor(0, 1, t);
+    }
+    EXPECT_TRUE(anyDiffer);
+}
+
+// ---- library ----------------------------------------------------------------
+
+TEST(ScenarioLibrary, HasAtLeastSixScenariosAndAllCompile)
+{
+    const auto names = libraryScenarioNames();
+    EXPECT_GE(names.size(), 6u);
+    for (const auto &name : names) {
+        const auto spec = libraryScenario(name);
+        EXPECT_EQ(spec.name, name);
+        EXPECT_FALSE(spec.description.empty());
+        // Every library scenario must compile for 4- and 8-DC
+        // clusters.
+        ScenarioTimeline(spec, 4, 1);
+        ScenarioTimeline(spec, 8, 1);
+        EXPECT_TRUE(isLibraryScenario(name));
+    }
+    EXPECT_FALSE(isLibraryScenario("no-such-scenario"));
+    EXPECT_THROW(libraryScenario("no-such-scenario"), FatalError);
+}
+
+// ---- driver determinism and drift ------------------------------------------
+
+TEST(ScenarioDriver, SameSpecAndSeedIsBitIdentical)
+{
+    const auto topo = topo4();
+    const auto spec = libraryScenario("cascading");
+    DriveConfig cfg;
+    cfg.seed = 31337;
+    cfg.horizon = 120.0;
+    const auto a = driveScenario(spec, topo, cfg);
+    const auto b = driveScenario(spec, topo, cfg);
+    EXPECT_TRUE(a.trace.identical(b.trace));
+    EXPECT_EQ(a.trace.hash(), b.trace.hash());
+    EXPECT_EQ(a.retrainTriggers, b.retrainTriggers);
+
+    cfg.seed = 31338;
+    const auto c = driveScenario(spec, topo, cfg);
+    EXPECT_FALSE(a.trace.identical(c.trace));
+}
+
+TEST(ScenarioDriver, OutageFiresDriftDetectorSteadyDoesNot)
+{
+    const auto topo = topo4();
+    DriveConfig cfg;
+    cfg.seed = 11;
+
+    const auto quiet =
+        driveScenario(libraryScenario("steady"), topo, cfg);
+    EXPECT_EQ(quiet.retrainTriggers, 0u);
+    EXPECT_DOUBLE_EQ(quiet.maxErrorFraction, 0.0);
+
+    const auto outage =
+        driveScenario(libraryScenario("dc-outage"), topo, cfg);
+    EXPECT_GE(outage.retrainTriggers, 1u);
+    EXPECT_GT(outage.maxErrorFraction, 0.0);
+    // The first retrain must land right after the outage begins
+    // (t = 60 in the library spec).
+    bool foundFire = false;
+    for (const auto &e : outage.epochs) {
+        if (e.retrainFired) {
+            EXPECT_GE(e.t, 60.0);
+            EXPECT_LE(e.t, 90.0);
+            foundFire = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(foundFire);
+}
+
+// ---- trace record / replay --------------------------------------------------
+
+TEST(ScenarioTrace, CsvRoundTripPreservesSamples)
+{
+    const auto topo = topo4();
+    DriveConfig cfg;
+    cfg.seed = 5;
+    cfg.horizon = 60.0;
+    const auto run =
+        driveScenario(libraryScenario("diurnal"), topo, cfg);
+    ASSERT_FALSE(run.trace.empty());
+
+    const std::string path = tmpPath("roundtrip.csv");
+    writeTraceCsv(path, run.trace);
+    const auto loaded = readTraceCsv(path);
+    std::remove(path.c_str());
+
+    ASSERT_EQ(loaded.dcs, run.trace.dcs);
+    ASSERT_EQ(loaded.size(), run.trace.size());
+    for (std::size_t k = 0; k < loaded.size(); ++k) {
+        EXPECT_NEAR(loaded.times[k], run.trace.times[k], 1e-6);
+        for (std::size_t p = 0; p < loaded.rows[k].size(); ++p)
+            EXPECT_NEAR(loaded.rows[k][p], run.trace.rows[k][p],
+                        1e-9);
+    }
+}
+
+TEST(ScenarioTrace, ReplayReproducesRecordedMultipliers)
+{
+    const auto topo = topo4();
+    DriveConfig cfg;
+    cfg.seed = 5;
+    cfg.horizon = 60.0;
+    const auto run =
+        driveScenario(libraryScenario("dc-outage"), topo, cfg);
+
+    const auto replayed = driveReplay(run.trace, topo, cfg);
+    ASSERT_EQ(replayed.trace.size(), run.trace.size());
+    for (std::size_t k = 0; k < run.trace.size(); ++k) {
+        for (std::size_t p = 0; p < run.trace.rows[k].size(); ++p)
+            EXPECT_NEAR(replayed.trace.rows[k][p],
+                        run.trace.rows[k][p], 1e-9)
+                << "sample " << k << " pair " << p;
+    }
+    // Replay of a replay is bit-identical: the medium is exact.
+    const auto again = driveReplay(run.trace, topo, cfg);
+    EXPECT_TRUE(replayed.trace.identical(again.trace));
+}
+
+TEST(ScenarioTrace, RejectsMalformedTraces)
+{
+    BwTrace trace;
+    EXPECT_THROW(trace.add(1.0, {1.0}), FatalError); // dcs not set
+    trace.dcs = 2;
+    EXPECT_THROW(trace.add(1.0, {1.0}), FatalError); // wrong arity
+    trace.add(1.0, {1.0, 1.0, 1.0, 1.0});
+    EXPECT_THROW(trace.add(0.5, {1.0, 1.0, 1.0, 1.0}),
+                 FatalError); // non-increasing time
+    EXPECT_THROW(TraceReplay(BwTrace{}), FatalError);
+}
+
+// ---- engine integration -----------------------------------------------------
+
+namespace {
+
+gda::QueryResult
+runUnderDynamics(const scenario::Dynamics *dynamics,
+                 core::Wanify *wanify, std::uint64_t seed)
+{
+    const auto topo = experiments::workerCluster(4, 2);
+    const auto job = workloads::teraSort(8.0);
+    storage::HdfsStore hdfs(topo);
+    hdfs.loadUniform(job.inputBytes);
+    sched::LocalityScheduler locality;
+
+    gda::Engine engine(topo, experiments::defaultSimConfig(), seed);
+    gda::RunOptions opts;
+    opts.schedulerBw = Matrix<Mbps>::square(4, 500.0);
+    opts.wanify = wanify;
+    opts.dynamics = dynamics;
+    opts.adaptOnDrift = true;
+    if (wanify == nullptr)
+        opts.staticConnections = Matrix<int>::square(4, 2);
+    return engine.run(job, hdfs.distribution(), locality, opts);
+}
+
+core::WanifyConfig
+scenarioWanifyConfig()
+{
+    core::WanifyConfig cfg;
+    // 4 DCs: a mesh is 12 pairs; one DC's row+col is 6/12 = 50%.
+    cfg.drift.windowSize = 24;
+    cfg.drift.minObservations = 12;
+    cfg.drift.retrainFraction = 0.2;
+    return cfg;
+}
+
+} // namespace
+
+TEST(EngineScenario, DriftRetrainFiresEndToEnd)
+{
+    // A long all-pairs outage beginning shortly after the job starts
+    // guarantees overlap with the shuffle no matter how stages land.
+    ScenarioSpec spec;
+    spec.name = "test-outage";
+    ScenarioEvent ev;
+    ev.kind = EventKind::Outage;
+    ev.start = 10.0;
+    ev.duration = 3000.0;
+    ev.residual = 0.3;
+    spec.events.push_back(ev);
+    const ScenarioTimeline timeline(spec, 4, 99);
+
+    core::Wanify wanify(scenarioWanifyConfig());
+    wanify.setPredictor(experiments::sharedPredictor());
+
+    const auto result =
+        runUnderDynamics(&timeline, &wanify, 2024);
+    EXPECT_GT(result.driftObservations, 0u);
+    EXPECT_GE(result.retrainTriggers, 1u);
+    EXPECT_GT(result.driftErrorFraction, 0.0);
+    EXPECT_GT(result.latency, 0.0);
+}
+
+TEST(EngineScenario, SteadyConditionsRaiseNoRetrains)
+{
+    core::Wanify wanify(scenarioWanifyConfig());
+    wanify.setPredictor(experiments::sharedPredictor());
+    const auto result = runUnderDynamics(nullptr, &wanify, 2024);
+    EXPECT_GT(result.driftObservations, 0u);
+    EXPECT_EQ(result.retrainTriggers, 0u);
+    EXPECT_DOUBLE_EQ(result.driftErrorFraction, 0.0);
+}
+
+TEST(EngineScenario, OutageSlowsTheJobDown)
+{
+    ScenarioSpec spec;
+    spec.name = "test-outage";
+    ScenarioEvent ev;
+    ev.kind = EventKind::Outage;
+    ev.start = 5.0;
+    ev.duration = 3000.0;
+    ev.residual = 0.01;
+    spec.events.push_back(ev);
+    const ScenarioTimeline timeline(spec, 4, 1);
+
+    const auto clean = runUnderDynamics(nullptr, nullptr, 777);
+    const auto outage = runUnderDynamics(&timeline, nullptr, 777);
+    EXPECT_GT(outage.latency, 1.3 * clean.latency);
+}
+
+TEST(EngineScenario, DeterministicWithDynamics)
+{
+    const auto spec = libraryScenario("cascading");
+    const ScenarioTimeline timeline(spec, 4, 11);
+    const auto a = runUnderDynamics(&timeline, nullptr, 555);
+    const auto b = runUnderDynamics(&timeline, nullptr, 555);
+    EXPECT_DOUBLE_EQ(a.latency, b.latency);
+    EXPECT_DOUBLE_EQ(a.cost.total(), b.cost.total());
+}
+
+TEST(EngineScenario, RejectsMismatchedClusterSize)
+{
+    const ScenarioTimeline timeline(libraryScenario("steady"), 8, 1);
+    EXPECT_THROW(runUnderDynamics(&timeline, nullptr, 1),
+                 FatalError);
+}
+
+// ---- runner aggregation -----------------------------------------------------
+
+TEST(RunnerScenario, AggregateCarriesDriftStatsAndIsParallelSafe)
+{
+    core::Wanify wanify(scenarioWanifyConfig());
+    wanify.setPredictor(experiments::sharedPredictor());
+
+    // A long outage overlapping the whole run so every trial drifts.
+    ScenarioSpec longOutage;
+    longOutage.name = "long-outage";
+    ScenarioEvent ev;
+    ev.kind = EventKind::Outage;
+    ev.start = 10.0;
+    ev.duration = 3000.0;
+    ev.residual = 0.3;
+    longOutage.events.push_back(ev);
+    const ScenarioTimeline longTimeline(longOutage, 4, 3);
+
+    auto fn = [&](std::uint64_t seed) {
+        return runUnderDynamics(&longTimeline, &wanify, seed);
+    };
+    const auto seq = experiments::runTrials(
+        fn, 3, 42, experiments::Execution::Sequential);
+    const auto par = experiments::runTrials(
+        fn, 3, 42, experiments::Execution::Parallel);
+
+    EXPECT_GT(seq.meanRetrainTriggers, 0.0);
+    EXPECT_GT(seq.totalRetrainTriggers, 0u);
+    EXPECT_GT(seq.meanDriftErrorFraction, 0.0);
+    EXPECT_DOUBLE_EQ(seq.meanLatency, par.meanLatency);
+    EXPECT_DOUBLE_EQ(seq.meanRetrainTriggers,
+                     par.meanRetrainTriggers);
+}
