@@ -17,11 +17,20 @@
  *   --horizon H    run seconds (0 = scenario's)     (default 0)
  *   --quiet        disable the stationary OU noise
  *   --record FILE  write the bandwidth trace as CSV
+ *   --adapt        run the GDA engine (TeraSort + WANify-TC) under
+ *                  the scenario with drift-triggered warm-start
+ *                  retraining instead of the bare mesh driver
+ *   --retrain      with --adapt: publish each warm-start retrained
+ *                  model back to the facade, so later runs start
+ *                  from it (the online learning loop across runs)
+ *   --runs N       engine runs for --adapt (default 1; 2 with
+ *                  --retrain so the cross-run improvement shows)
  *
- * Every run is deterministic: the same scenario, cluster, and seed
- * produce a bit-identical trace (printed as `trace-hash`). `verify`
- * drives every library scenario twice and fails if any pair of
- * traces differs — the determinism contract under CTest.
+ * Every mesh-driver run is deterministic: the same scenario,
+ * cluster, and seed produce a bit-identical trace (printed as
+ * `trace-hash`). `verify` drives every library scenario twice and
+ * fails if any pair of traces differs — the determinism contract
+ * under CTest.
  */
 
 #include <cstdio>
@@ -32,8 +41,13 @@
 
 #include "common/error.hh"
 #include "common/table.hh"
+#include "experiments/predictor_factory.hh"
 #include "experiments/testbed.hh"
+#include "gda/engine.hh"
+#include "sched/locality.hh"
 #include "scenario/driver.hh"
+#include "storage/hdfs.hh"
+#include "workloads/terasort.hh"
 
 using namespace wanify;
 
@@ -48,6 +62,9 @@ struct CliOptions
     Seconds horizon = 0.0;
     bool fluctuation = true;
     std::string recordPath;
+    bool adapt = false;
+    bool retrain = false;
+    std::size_t runs = 0; // 0 = default for the mode
 };
 
 int
@@ -62,7 +79,8 @@ usage()
         "  verify                    drive each scenario twice and\n"
         "                            check the traces are identical\n"
         "options: --dcs N --vms N --seed S --epoch E --horizon H\n"
-        "         --quiet --record FILE\n");
+        "         --quiet --record FILE --adapt [--retrain]\n"
+        "         --runs N\n");
     return 2;
 }
 
@@ -105,6 +123,24 @@ parseOptions(int argc, char **argv, int first, CliOptions &opts)
             opts.horizon = std::atof(v);
         } else if (arg == "--quiet") {
             opts.fluctuation = false;
+        } else if (arg == "--adapt") {
+            opts.adapt = true;
+        } else if (arg == "--retrain") {
+            opts.retrain = true;
+        } else if (arg == "--runs") {
+            const char *v = next("--runs");
+            if (v == nullptr)
+                return false;
+            char *end = nullptr;
+            const long parsed = std::strtol(v, &end, 10);
+            if (end == v || *end != '\0' || parsed < 1 ||
+                parsed > 1000) {
+                std::fprintf(stderr,
+                             "--runs must be an integer in "
+                             "[1, 1000]\n");
+                return false;
+            }
+            opts.runs = static_cast<std::size_t>(parsed);
         } else if (arg == "--record") {
             const char *v = next("--record");
             if (v == nullptr)
@@ -121,6 +157,23 @@ parseOptions(int argc, char **argv, int first, CliOptions &opts)
     }
     if (opts.vmsPerDc < 1) {
         std::fprintf(stderr, "--vms must be >= 1\n");
+        return false;
+    }
+    if (opts.retrain && !opts.adapt) {
+        std::fprintf(stderr, "--retrain requires --adapt\n");
+        return false;
+    }
+    if (opts.runs > 0 && !opts.adapt) {
+        std::fprintf(stderr, "--runs requires --adapt\n");
+        return false;
+    }
+    if (opts.adapt &&
+        (!opts.recordPath.empty() || opts.epoch > 0.0 ||
+         opts.horizon > 0.0)) {
+        // The engine paces itself by AIMD epochs and job length;
+        // these knobs only shape the mesh driver.
+        std::fprintf(stderr, "--record/--epoch/--horizon only apply "
+                             "to mesh-driver runs (drop --adapt)\n");
         return false;
     }
     return true;
@@ -200,10 +253,101 @@ cmdShow(const std::string &name)
     return 0;
 }
 
+/**
+ * `run <name> --adapt [--retrain]`: the online learning loop behind
+ * a real query. TeraSort runs through the GDA engine under the
+ * scenario with WANify-TC deployed and adaptOnDrift on; each drift
+ * trip gauges the live mesh, warm-starts the forest, and re-plans.
+ * With --retrain the retrained model is published back to the facade
+ * after every warm start, so successive runs start progressively
+ * better calibrated — the cross-run half of the loop.
+ */
+int
+cmdRunEngine(const scenario::ScenarioSpec &spec,
+             const CliOptions &opts)
+{
+    const auto topo =
+        experiments::workerCluster(opts.dcs, opts.vmsPerDc);
+    const std::size_t n = topo.dcCount();
+    const scenario::ScenarioTimeline timeline(spec, n, opts.seed);
+
+    // Sized per DC so TeraSort's map compute ends (and its shuffle
+    // therefore runs) inside the library scenarios' scripted event
+    // windows on the default 2-VM workers, whatever --dcs is.
+    const auto job =
+        workloads::teraSort(6.0 * static_cast<double>(opts.dcs));
+    storage::HdfsStore hdfs(topo);
+    hdfs.loadUniform(job.inputBytes);
+    const auto input = hdfs.distribution();
+    sched::LocalityScheduler locality;
+
+    // Scenario-sized drift window (two full meshes), as the scenario
+    // benches use.
+    core::WanifyConfig wcfg;
+    wcfg.drift.windowSize = 2 * n * (n - 1);
+    wcfg.drift.minObservations = n * (n - 1);
+    wcfg.drift.retrainFraction = 0.2;
+    core::Wanify wanify(wcfg);
+    std::printf("training the shared WAN prediction model...\n");
+    wanify.setPredictor(experiments::sharedPredictor());
+
+    // Cross-run campaign accumulator (--retrain): every run's gauges
+    // join one incremental dataset, so later warm starts train on
+    // the union. Safe here because the runs are sequential.
+    core::AnalyzerConfig campaignCfg;
+    campaignCfg.clusterSizes = {n};
+    core::BandwidthAnalyzer campaign(campaignCfg);
+
+    const std::size_t runs =
+        opts.runs > 0 ? opts.runs : (opts.retrain ? 2 : 1);
+    Table table("scenario '" + spec.name + "': TeraSort + WANify-TC" +
+                (opts.retrain ? " (publishing retrained models)"
+                              : ""));
+    table.setHeader({"Run", "Latency (s)", "Cost ($)",
+                     "Min BW (Mbps)", "Retrains", "Pre err",
+                     "Post err", "Trees"});
+    for (std::size_t r = 0; r < runs; ++r) {
+        auto simCfg = experiments::defaultSimConfig();
+        simCfg.fluctuation.enabled = opts.fluctuation;
+        gda::Engine engine(topo, simCfg, opts.seed + 101 * r);
+        gda::RunOptions ropts;
+        ropts.schedulerBw = Matrix<Mbps>::square(n, 400.0);
+        ropts.wanify = &wanify;
+        ropts.dynamics = &timeline;
+        ropts.adaptOnDrift = true;
+        ropts.publishRetrainedModel = opts.retrain;
+        if (opts.retrain)
+            ropts.campaign = &campaign;
+        const auto res =
+            engine.run(job, input, locality, ropts);
+        const bool retrained = res.retrainsApplied > 0;
+        table.addRow(
+            {std::to_string(r + 1), Table::num(res.latency, 0),
+             Table::num(res.cost.total(), 2),
+             Table::num(res.minObservedBw, 0),
+             std::to_string(res.retrainsApplied),
+             retrained ? Table::num(res.preRetrainError, 0)
+                       : std::string("-"),
+             retrained ? Table::num(res.postRetrainError, 0)
+                       : std::string("-"),
+             std::to_string(
+                 wanify.predictorSnapshot()->forest().treeCount())});
+    }
+    table.print();
+    std::printf("pre/post err = mean abs BW prediction error (Mbps) "
+                "at each warm-start retrain; 'Trees' is the "
+                "facade's published forest after the run%s.\n",
+                opts.retrain ? " (grows as models are published)"
+                             : " (unchanged without --retrain)");
+    return 0;
+}
+
 int
 cmdRun(const std::string &name, const CliOptions &opts)
 {
     const auto spec = scenario::libraryScenario(name);
+    if (opts.adapt)
+        return cmdRunEngine(spec, opts);
     const auto topo =
         experiments::workerCluster(opts.dcs, opts.vmsPerDc);
     const auto result =

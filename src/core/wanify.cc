@@ -35,6 +35,7 @@ Wanify::train(const AnalyzerConfig &analyzerCfg, std::uint64_t seed)
     auto predictor =
         std::make_shared<RuntimeBwPredictor>(config_.forest);
     predictor->train(data, seed ^ 0x9e3779b9UL);
+    std::lock_guard<std::mutex> lock(predictorMu_);
     predictor_ = std::move(predictor);
 }
 
@@ -43,30 +44,87 @@ Wanify::setPredictor(std::shared_ptr<const RuntimeBwPredictor> p)
 {
     fatalIf(!p || !p->trained(),
             "Wanify::setPredictor: predictor not trained");
+    std::lock_guard<std::mutex> lock(predictorMu_);
     predictor_ = std::move(p);
+}
+
+std::shared_ptr<const RuntimeBwPredictor>
+Wanify::predictorSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(predictorMu_);
+    return predictor_;
 }
 
 bool
 Wanify::trained() const
 {
-    return predictor_ && predictor_->trained();
+    const auto p = predictorSnapshot();
+    return p && p->trained();
 }
 
 const RuntimeBwPredictor &
 Wanify::predictor() const
 {
     fatalIf(!trained(), "Wanify: predictor not trained");
+    std::lock_guard<std::mutex> lock(predictorMu_);
     return *predictor_;
+}
+
+std::shared_ptr<const RuntimeBwPredictor>
+Wanify::retrain(const ml::Dataset &data, std::uint64_t seed,
+                std::shared_ptr<const RuntimeBwPredictor> base,
+                bool publish) const
+{
+    fatalIf(data.empty(), "Wanify::retrain: no gauged samples");
+    if (base == nullptr)
+        base = predictorSnapshot();
+    // An untrained facade warm-starts from an empty forest: the extra
+    // trees become the whole ensemble.
+    auto next = base != nullptr
+                    ? std::make_shared<RuntimeBwPredictor>(*base)
+                    : std::make_shared<RuntimeBwPredictor>(
+                          config_.forest);
+    next->retrain(data, config_.retrainExtraTrees, seed);
+    if (publish) {
+        std::lock_guard<std::mutex> lock(predictorMu_);
+        predictor_ = next;
+    }
+    return next;
 }
 
 BwMatrix
 Wanify::predictRuntimeBw(net::NetworkSim &sim, Rng &rng) const
 {
-    fatalIf(!trained(), "Wanify: predictor not trained");
+    const auto p = predictorSnapshot();
+    fatalIf(!p || !p->trained(), "Wanify: predictor not trained");
+    return predictRuntimeBw(sim, rng, *p);
+}
+
+BwMatrix
+Wanify::predictRuntimeBw(net::NetworkSim &sim, Rng &rng,
+                         const RuntimeBwPredictor &model) const
+{
     monitor::MeshMeasurer measurer(sim);
     const BwMatrix snapshot =
         measurer.snapshot(config_.measurement, rng);
-    return predictor_->predictMatrix(sim.topology(), snapshot);
+    return model.predictMatrix(sim.topology(), snapshot);
+}
+
+Wanify::RuntimeGauge
+Wanify::gaugeRuntime(net::NetworkSim &sim, Rng &rng,
+                     const RuntimeBwPredictor &model) const
+{
+    monitor::MeshMeasurer measurer(sim);
+    RuntimeGauge gauge;
+    gauge.snapshot = measurer.snapshot(config_.measurement, rng);
+    // "Stable from the current epoch": the gauge observes one AIMD
+    // epoch of simultaneous mesh traffic rather than the offline
+    // campaign's 20 s — runtime collection must stay cheap.
+    gauge.stable = measurer.measureSimultaneous(
+        config_.aimd.epoch, config_.measurement.connections);
+    gauge.predicted =
+        model.predictMatrix(sim.topology(), gauge.snapshot);
+    return gauge;
 }
 
 GlobalPlan

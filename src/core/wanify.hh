@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -60,6 +61,15 @@ struct WanifyConfig
     monitor::MeasurementConfig measurement;
     ml::ForestConfig forest;
     DriftConfig drift;
+
+    /**
+     * Trees added per warm-start retrain (Section 3.3.4). The
+     * retrained ensemble averages the stale trees with the new ones,
+     * so a quarter of the paper's 100-tree forest pulls predictions
+     * toward the freshly gauged regime without discarding what the
+     * offline campaign learned.
+     */
+    std::size_t retrainExtraTrees = 25;
 };
 
 class Wanify
@@ -76,7 +86,39 @@ class Wanify
     void setPredictor(std::shared_ptr<const RuntimeBwPredictor> p);
 
     bool trained() const;
+
+    /**
+     * Reference to the currently published predictor — for offline,
+     * single-threaded use (training scripts, benches, examples). The
+     * reference is only guaranteed to outlive concurrent publishing
+     * retrains while the caller also holds a predictorSnapshot();
+     * code that runs alongside publishRetrainedModel trials must use
+     * predictorSnapshot() instead.
+     */
     const RuntimeBwPredictor &predictor() const;
+
+    /**
+     * The currently published predictor (null before training). The
+     * snapshot stays valid and immutable however many retrains swap
+     * the facade's predictor afterwards — engine runs pin one at
+     * start so concurrent trials never see a model change mid-run.
+     */
+    std::shared_ptr<const RuntimeBwPredictor> predictorSnapshot() const;
+
+    /**
+     * Warm-start retraining (Section 3.3.4): copy @p base (null = the
+     * currently published predictor; an untrained facade starts from
+     * an empty forest), grow retrainExtraTrees new trees on @p data
+     * via RandomForestRegressor::warmStart, and — when @p publish —
+     * atomically swap the facade's shared predictor so *future* runs
+     * adopt the update while concurrent trials keep the snapshot they
+     * pinned. Returns the retrained predictor. Safe to call from
+     * parallel trials; deterministic in (base, data, seed).
+     */
+    std::shared_ptr<const RuntimeBwPredictor>
+    retrain(const ml::Dataset &data, std::uint64_t seed,
+            std::shared_ptr<const RuntimeBwPredictor> base = nullptr,
+            bool publish = true) const;
 
     // --- online module ----------------------------------------------------
 
@@ -85,6 +127,27 @@ class Wanify
      * (Runtime Bandwidth Determination, Section 4.1.2).
      */
     BwMatrix predictRuntimeBw(net::NetworkSim &sim, Rng &rng) const;
+
+    /** Same, but through an explicitly pinned model. */
+    BwMatrix predictRuntimeBw(net::NetworkSim &sim, Rng &rng,
+                              const RuntimeBwPredictor &model) const;
+
+    /**
+     * One mid-run gauge of the Section 3.3.4 retraining path: a
+     * 1-second snapshot plus the observed stable BW over one AIMD
+     * epoch on the live simulator, and @p model's prediction from
+     * that snapshot. The (snapshot, stable) pair becomes warm-start
+     * training rows; (predicted, stable) measures the model's error
+     * under current conditions.
+     */
+    struct RuntimeGauge
+    {
+        BwMatrix snapshot;
+        BwMatrix stable;
+        BwMatrix predicted;
+    };
+    RuntimeGauge gaugeRuntime(net::NetworkSim &sim, Rng &rng,
+                              const RuntimeBwPredictor &model) const;
 
     /**
      * Global Optimizer (Section 4.1.2): plan heterogeneous connection
@@ -132,7 +195,17 @@ class Wanify
 
   private:
     WanifyConfig config_;
-    std::shared_ptr<const RuntimeBwPredictor> predictor_;
+
+    /**
+     * Published predictor, guarded by predictorMu_: readers take
+     * shared_ptr snapshots, retrain() swaps the pointer atomically.
+     * Mutable because swapping the published model is logically a
+     * service update, not an observable mutation of any pinned
+     * snapshot — the facade stays const-shareable across trials.
+     */
+    mutable std::shared_ptr<const RuntimeBwPredictor> predictor_;
+    mutable std::mutex predictorMu_;
+
     ModelDriftDetector drift_;
 };
 

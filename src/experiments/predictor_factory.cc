@@ -1,6 +1,7 @@
 #include "experiments/predictor_factory.hh"
 
 #include "experiments/testbed.hh"
+#include "scenario/library.hh"
 
 namespace wanify {
 namespace experiments {
@@ -34,6 +35,23 @@ sharedPredictor()
         auto predictor = std::make_shared<core::RuntimeBwPredictor>(
             sharedForestConfig());
         predictor->train(data, 20250043);
+        return std::shared_ptr<const core::RuntimeBwPredictor>(
+            std::move(predictor));
+    }();
+    return cached;
+}
+
+std::shared_ptr<const core::RuntimeBwPredictor>
+scenarioConditionedPredictor()
+{
+    static std::shared_ptr<const core::RuntimeBwPredictor> cached = [] {
+        core::AnalyzerConfig cfg = sharedAnalyzerConfig();
+        cfg.dynamics = scenario::campaignDynamics();
+        core::BandwidthAnalyzer analyzer(cfg);
+        const ml::Dataset data = analyzer.collect(20250044);
+        auto predictor = std::make_shared<core::RuntimeBwPredictor>(
+            sharedForestConfig());
+        predictor->train(data, 20250045);
         return std::shared_ptr<const core::RuntimeBwPredictor>(
             std::move(predictor));
     }();

@@ -31,6 +31,16 @@ ml::ForestConfig sharedForestConfig();
  */
 std::shared_ptr<const core::RuntimeBwPredictor> sharedPredictor();
 
+/**
+ * A predictor whose Bandwidth Analyzer campaign ran under
+ * scenario-conditioned dynamics (scenario::campaignDynamics cycling
+ * the library), so its training rows cover outage/diurnal/degraded
+ * regimes on top of stationary noise. Same forest configuration and
+ * lazy per-process caching as sharedPredictor().
+ */
+std::shared_ptr<const core::RuntimeBwPredictor>
+scenarioConditionedPredictor();
+
 } // namespace experiments
 } // namespace wanify
 

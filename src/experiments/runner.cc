@@ -34,8 +34,20 @@ aggregate(const std::vector<gda::QueryResult> &results)
     agg.seMinBw = stats::stderrOfMean(minBw);
     agg.meanDriftErrorFraction = stats::mean(driftErr);
     agg.meanRetrainTriggers = stats::mean(retrains);
-    for (const auto &r : results)
+    for (const auto &r : results) {
         agg.totalRetrainTriggers += r.retrainTriggers;
+        agg.totalRetrainsApplied += r.retrainsApplied;
+        if (r.retrainsApplied > 0) {
+            ++agg.trialsRetrained;
+            agg.meanPreRetrainError += r.preRetrainError;
+            agg.meanPostRetrainError += r.postRetrainError;
+        }
+    }
+    if (agg.trialsRetrained > 0) {
+        const auto k = static_cast<double>(agg.trialsRetrained);
+        agg.meanPreRetrainError /= k;
+        agg.meanPostRetrainError /= k;
+    }
     return agg;
 }
 

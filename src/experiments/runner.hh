@@ -38,6 +38,23 @@ struct Aggregate
     /** Retrain-flag raises summed across all trials. */
     std::size_t totalRetrainTriggers = 0;
 
+    // --- online learning telemetry (adaptOnDrift runs) ---------------
+
+    /** Trials that performed at least one warm-start retrain. */
+    std::size_t trialsRetrained = 0;
+
+    /** Warm-start retrains summed across all trials. */
+    std::size_t totalRetrainsApplied = 0;
+
+    /**
+     * Mean pre-/post-retrain BW prediction error (Mbps) over the
+     * trials that retrained (0 when none did). Post strictly below
+     * pre is the signature of the model genuinely learning the
+     * drifted regime rather than re-anchoring on it.
+     */
+    double meanPreRetrainError = 0.0;
+    double meanPostRetrainError = 0.0;
+
     std::size_t trials = 0;
 };
 

@@ -1,10 +1,13 @@
 #include "gda/engine.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 
 #include "common/error.hh"
 #include "common/logging.hh"
+#include "common/rng.hh"
+#include "monitor/features.hh"
 #include "scenario/scenario.hh"
 
 namespace wanify {
@@ -18,6 +21,25 @@ using net::VmId;
 namespace {
 
 constexpr Bytes kMinAccountedBytes = 1024.0 * 1024.0; // 1 MB
+
+/** Mean absolute gap between two BW matrices over off-diagonal
+ *  pairs — the pre/post-retrain prediction-error metric. */
+double
+meanAbsOffDiag(const Matrix<Mbps> &a, const Matrix<Mbps> &b)
+{
+    const std::size_t n = a.rows();
+    double sum = 0.0;
+    std::size_t pairs = 0;
+    for (DcId i = 0; i < n; ++i) {
+        for (DcId j = 0; j < n; ++j) {
+            if (i == j)
+                continue;
+            sum += std::abs(a.at(i, j) - b.at(i, j));
+            ++pairs;
+        }
+    }
+    return pairs == 0 ? 0.0 : sum / static_cast<double>(pairs);
+}
 
 /** First VM of a DC carries that DC's shuffle endpoints. */
 VmId
@@ -85,6 +107,77 @@ class DynamicsState
     Matrix<Bytes> burstBytes_;
 };
 
+/** One in-flight shuffle transfer of the current stage. */
+struct PendingTransfer
+{
+    DcId src, dst;
+    Bytes bytes;
+    Seconds done = 0.0;
+};
+
+/**
+ * Brackets a control-plane measurement window. Construction records
+ * the per-pair byte counters, the job transfers' progress, and the
+ * active bursts' progress; destruction bills the window's *extra*
+ * bytes (probe traffic = growth minus job minus bursts) to
+ * controlBytes, never to the query. RAII keeps the two halves of the
+ * accounting paired however the gauging code between them evolves.
+ */
+class ControlProbe
+{
+  public:
+    ControlProbe(NetworkSim &sim, const DynamicsState &dynamics,
+                 const std::map<TransferId, PendingTransfer> &pending,
+                 Matrix<Bytes> &controlBytes)
+        : sim_(sim),
+          dynamics_(dynamics),
+          pending_(pending),
+          controlBytes_(controlBytes),
+          n_(controlBytes.rows()),
+          probe_(Matrix<Bytes>::square(n_, 0.0)),
+          burstBefore_(dynamics.activeBurstMoved(n_))
+    {
+        for (DcId i = 0; i < n_; ++i)
+            for (DcId j = 0; j < n_; ++j)
+                probe_.at(i, j) = -sim_.pairBytes(i, j);
+        for (const auto &[id, t] : pending_)
+            jobMoved_[id] = sim_.status(id).bytesMoved;
+    }
+
+    ~ControlProbe()
+    {
+        // Bursts settle their own bill via burstBytes when they
+        // stop; here only their in-window progress is netted out.
+        const Matrix<Bytes> burstAfter =
+            dynamics_.activeBurstMoved(n_);
+        for (DcId i = 0; i < n_; ++i)
+            for (DcId j = 0; j < n_; ++j)
+                probe_.at(i, j) += sim_.pairBytes(i, j) -
+                                   (burstAfter.at(i, j) -
+                                    burstBefore_.at(i, j));
+        for (const auto &[id, t] : pending_)
+            probe_.at(t.src, t.dst) -=
+                sim_.status(id).bytesMoved - jobMoved_[id];
+        for (DcId i = 0; i < n_; ++i)
+            for (DcId j = 0; j < n_; ++j)
+                controlBytes_.at(i, j) +=
+                    std::max(0.0, probe_.at(i, j));
+    }
+
+    ControlProbe(const ControlProbe &) = delete;
+    ControlProbe &operator=(const ControlProbe &) = delete;
+
+  private:
+    NetworkSim &sim_;
+    const DynamicsState &dynamics_;
+    const std::map<TransferId, PendingTransfer> &pending_;
+    Matrix<Bytes> &controlBytes_;
+    std::size_t n_;
+    Matrix<Bytes> probe_;
+    Matrix<Bytes> burstBefore_;
+    std::map<TransferId, Bytes> jobMoved_;
+};
+
 } // namespace
 
 Engine::Engine(net::Topology topo, net::NetworkSimConfig simCfg,
@@ -143,11 +236,21 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
     auto &agents = deployment.agents;
     Matrix<Mbps> predicted;
     Seconds epoch = 1.0;
+    // The run pins one predictor snapshot up front: retrains by
+    // concurrent trials may swap the facade's published model at any
+    // time, but this run's predictions (and its own warm starts)
+    // evolve only from the pinned lineage, keeping every trial
+    // deterministic in its seed alone.
+    std::shared_ptr<const core::RuntimeBwPredictor> model;
     if (opts.wanify != nullptr) {
+        model = opts.wanify->predictorSnapshot();
         if (opts.predictedBwOverride.has_value()) {
             predicted = *opts.predictedBwOverride;
         } else {
-            predicted = opts.wanify->predictRuntimeBw(sim, rng);
+            fatalIf(model == nullptr || !model->trained(),
+                    "Engine::run: WANify predictor not trained");
+            predicted = opts.wanify->predictRuntimeBw(sim, rng,
+                                                      *model);
         }
         plan = opts.wanify->plan(predicted, opts.skewWeights,
                                  opts.rvec);
@@ -194,9 +297,88 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
     // before bytesAtStart) and with flash-crowd bursts.
     Matrix<Bytes> controlBytes = Matrix<Bytes>::square(n, 0.0);
 
+    // Training rows gauged at runtime accumulate across this run's
+    // retrains (Section 3.3.4: "the additionally collected samples");
+    // each warm start trains its extra trees on the union so far.
+    ml::Dataset gaugedRows(monitor::kFeatureCount, 1);
+    double preErrSum = 0.0, postErrSum = 0.0;
+
     const Seconds jobStart = sim.now();
     std::vector<Bytes> stageInput = inputByDc;
     bool sawWanTraffic = false;
+
+    // The online learning loop (Section 3.3.4), invoked when the
+    // drift gauge fires under adaptOnDrift: clear the stale
+    // throttles, gauge the live network (snapshot + one epoch of
+    // stable mesh BW — this costs measurement time, as in the
+    // paper), convert the gauge into training rows, warm-start
+    // retrain the pinned model, then re-predict from a second
+    // out-of-sample gauge, re-plan, and redeploy fresh agents. The
+    // ControlProbe brackets the whole window so the probes bill to
+    // WANify's control plane, not the query.
+    auto retrainAndRedeploy =
+        [&](const std::map<TransferId, PendingTransfer> &pending,
+            Seconds &nextEpoch) {
+            deployment.clear(sim);
+            const ControlProbe probe(sim, dynamics, pending,
+                                     controlBytes);
+
+            // Gauge A: the stale model's error under current
+            // conditions, and the training rows.
+            const auto gaugeA =
+                opts.wanify->gaugeRuntime(sim, rng, *model);
+            preErrSum +=
+                meanAbsOffDiag(gaugeA.predicted, gaugeA.stable);
+            core::CollectedMesh mesh;
+            mesh.clusterSize = n;
+            mesh.snapshotBw = gaugeA.snapshot;
+            mesh.stableBw = gaugeA.stable;
+            std::uint64_t retrainState =
+                runSeed ^ (0x9e3779b97f4a7c15ULL *
+                           (result.retrainsApplied + 1));
+            const std::uint64_t retrainSeed =
+                splitmix64(retrainState);
+            const ml::Dataset *trainingRows;
+            if (opts.campaign != nullptr) {
+                // Cross-run campaign: the gauge joins the shared
+                // incremental dataset and the warm start learns from
+                // every run's gauges.
+                opts.campaign->absorb(topo_, {mesh}, retrainSeed);
+                trainingRows = &opts.campaign->incremental();
+            } else {
+                core::BandwidthAnalyzer::appendRows(gaugedRows,
+                                                    topo_, mesh,
+                                                    rng);
+                trainingRows = &gaugedRows;
+            }
+
+            // Warm-start retrain the pinned lineage; publishing
+            // (opt-in) atomically swaps the facade's model for
+            // future runs.
+            model = opts.wanify->retrain(
+                *trainingRows, retrainSeed, model,
+                opts.publishRetrainedModel);
+
+            // Gauge B: fresh snapshot + stable mesh, out-of-sample
+            // for the new trees — the post-retrain error, and the
+            // matrix the redeployment plans from.
+            const auto gaugeB =
+                opts.wanify->gaugeRuntime(sim, rng, *model);
+            postErrSum +=
+                meanAbsOffDiag(gaugeB.predicted, gaugeB.stable);
+            ++result.retrainsApplied;
+            predicted = gaugeB.predicted;
+
+            plan = opts.wanify->plan(predicted, opts.skewWeights,
+                                     opts.rvec);
+            deployment =
+                opts.wanify->deploy(sim, plan, predicted);
+            for (auto &agent : agents) {
+                agent->applyTargets();
+                agent->resetWindow();
+            }
+            nextEpoch = sim.now();
+        };
 
     for (std::size_t s = 0; s < job.stages.size(); ++s) {
         const StageSpec &spec = job.stages[s];
@@ -211,12 +393,6 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
                 "Engine::run: scheduler assignment shape mismatch");
 
         // --- shuffle phase ------------------------------------------------
-        struct PendingTransfer
-        {
-            DcId src, dst;
-            Bytes bytes;
-            Seconds done = 0.0;
-        };
         std::map<TransferId, PendingTransfer> pending;
         for (DcId i = 0; i < n; ++i) {
             for (DcId j = 0; j < n; ++j) {
@@ -266,57 +442,8 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
                     ++result.retrainTriggers;
                     if (opts.adaptOnDrift &&
                         !opts.predictedBwOverride.has_value() &&
-                        opts.wanify->trained()) {
-                        // The retraining path end to end: clear the
-                        // stale throttles, re-snapshot the live
-                        // network (this costs measurement time, as
-                        // in the paper), re-predict, re-plan, and
-                        // redeploy fresh agents.
-                        deployment.clear(sim);
-                        // Probe bytes = pair-byte growth over the
-                        // snapshot minus what the job's transfers
-                        // and any active scenario bursts moved
-                        // during it (bursts settle their own bill
-                        // via burstBytes when they stop).
-                        Matrix<Bytes> probe =
-                            Matrix<Bytes>::square(n, 0.0);
-                        for (DcId i = 0; i < n; ++i)
-                            for (DcId j = 0; j < n; ++j)
-                                probe.at(i, j) =
-                                    -sim.pairBytes(i, j);
-                        std::map<TransferId, Bytes> jobMoved;
-                        for (const auto &[id, t] : pending)
-                            jobMoved[id] =
-                                sim.status(id).bytesMoved;
-                        const Matrix<Bytes> burstBefore =
-                            dynamics.activeBurstMoved(n);
-                        predicted =
-                            opts.wanify->predictRuntimeBw(sim, rng);
-                        const Matrix<Bytes> burstAfter =
-                            dynamics.activeBurstMoved(n);
-                        for (DcId i = 0; i < n; ++i)
-                            for (DcId j = 0; j < n; ++j)
-                                probe.at(i, j) +=
-                                    sim.pairBytes(i, j) -
-                                    (burstAfter.at(i, j) -
-                                     burstBefore.at(i, j));
-                        for (const auto &[id, t] : pending)
-                            probe.at(t.src, t.dst) -=
-                                sim.status(id).bytesMoved -
-                                jobMoved[id];
-                        for (DcId i = 0; i < n; ++i)
-                            for (DcId j = 0; j < n; ++j)
-                                controlBytes.at(i, j) += std::max(
-                                    0.0, probe.at(i, j));
-                        plan = opts.wanify->plan(
-                            predicted, opts.skewWeights, opts.rvec);
-                        deployment = opts.wanify->deploy(sim, plan,
-                                                         predicted);
-                        for (auto &agent : agents) {
-                            agent->applyTargets();
-                            agent->resetWindow();
-                        }
-                        nextEpoch = sim.now();
+                        model != nullptr && model->trained()) {
+                        retrainAndRedeploy(pending, nextEpoch);
                     }
                     // With or without the adaptive path, the model
                     // is considered recalibrated on current
@@ -410,6 +537,13 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
     result.cost = costModel.queryCost(
         result.latency, result.wanBytesByPair,
         units::toGigabytes(job.inputBytes));
+
+    if (result.retrainsApplied > 0) {
+        result.preRetrainError =
+            preErrSum / static_cast<double>(result.retrainsApplied);
+        result.postRetrainError =
+            postErrSum / static_cast<double>(result.retrainsApplied);
+    }
 
     if (!sawWanTraffic)
         result.minObservedBw = 0.0;

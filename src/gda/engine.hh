@@ -73,6 +73,27 @@ struct QueryResult
     /** Times the detector raised the retrain flag during the run. */
     std::size_t retrainTriggers = 0;
 
+    // --- online learning telemetry (adaptOnDrift runs only) ----------
+
+    /** Warm-start retrains actually performed during the run. */
+    std::size_t retrainsApplied = 0;
+
+    /**
+     * Mean absolute BW prediction error (Mbps, off-diagonal pairs)
+     * of the *stale* model against the stable BW gauged when each
+     * retrain fired, averaged over this run's retrains. 0 when no
+     * retrain happened.
+     */
+    double preRetrainError = 0.0;
+
+    /**
+     * Same error for the *retrained* model, measured against a fresh
+     * gauge taken after the warm start — out-of-sample with respect
+     * to the rows the new trees just trained on, so a drop means the
+     * model genuinely learned the regime rather than re-anchoring.
+     */
+    double postRetrainError = 0.0;
+
     std::vector<StageResult> stages;
     Matrix<Bytes> wanBytesByPair;
 };
@@ -117,12 +138,37 @@ struct RunOptions
 
     /**
      * When the drift detector trips mid-run (WANify deployed, no
-     * predictedBwOverride), re-snapshot the live network, re-predict,
-     * re-plan, and redeploy the agents — the retraining path of
-     * Section 3.3.4. Off by default so the paper's static-conditions
-     * benches keep their exact semantics; scenario runs turn it on.
+     * predictedBwOverride), run the full retraining path of Section
+     * 3.3.4: gauge snapshot + stable BW on the live network, convert
+     * the gauge into training rows, warm-start retrain the run's
+     * pinned model, then re-predict, re-plan, and redeploy the
+     * agents. Off by default so the paper's static-conditions benches
+     * keep their exact semantics; scenario runs turn it on.
      */
     bool adaptOnDrift = false;
+
+    /**
+     * Publish each warm-start retrained model back to the shared
+     * Wanify facade (atomic swap) so *later* runs start from it. Off
+     * by default: publishing makes a run's starting model depend on
+     * which earlier trials already finished, which would break the
+     * bit-identical sequential-vs-parallel contract of
+     * experiments::runTrials. Enable for deliberately sequential
+     * online-learning campaigns (the CLI's --retrain mode does).
+     */
+    bool publishRetrainedModel = false;
+
+    /**
+     * Optional cross-run campaign accumulator: when set, every
+     * runtime gauge is absorbed into this analyzer's incremental
+     * dataset and warm starts train on the accumulated union — so a
+     * sequential campaign's later runs learn from every earlier
+     * run's gauges, not only their own. Mutable shared state: only
+     * valid for sequential campaigns (pair it with
+     * publishRetrainedModel; never share across parallel trials).
+     * Null = each run keeps a private dataset.
+     */
+    core::BandwidthAnalyzer *campaign = nullptr;
 
     /** Safety cap per stage. */
     Seconds maxStageSeconds = 6.0 * 3600.0;

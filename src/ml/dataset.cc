@@ -60,6 +60,11 @@ Dataset::append(const Dataset &other)
     fatalIf(other.featureCount_ != featureCount_ ||
                 other.outputCount_ != outputCount_,
             "Dataset::append: shape mismatch");
+    // Appending is the hot path of incremental campaigns (runtime
+    // gauges accrete every drift epoch): reserve once instead of
+    // reallocating per row.
+    features_.reserve(features_.size() + other.size());
+    targets_.reserve(targets_.size() + other.size());
     for (std::size_t i = 0; i < other.size(); ++i)
         add(other.x(i), other.y(i));
 }

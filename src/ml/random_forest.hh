@@ -58,7 +58,12 @@ class RandomForestRegressor
     /**
      * Warm start: keep existing trees and grow @p extraTrees new ones
      * on @p data (typically the union of old and newly collected
-     * samples, which the caller maintains).
+     * samples, which the caller maintains). On an untrained forest
+     * this is the initial fit: the extra trees become the whole
+     * ensemble and @p data locks in the feature count. extraTrees
+     * must be > 0 — a tree-less "retrain" would silently keep
+     * reporting the stale model's accuracy. oobR2() afterwards
+     * covers the newly grown batch only.
      */
     void warmStart(const Dataset &data, std::size_t extraTrees,
                    std::uint64_t seed);

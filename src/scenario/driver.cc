@@ -47,6 +47,9 @@ drive(const Dynamics &dynamics, const net::Topology &topo,
     DriveResult result;
     result.name = name;
     result.trace.dcs = n;
+    // Bursts scheduled over the horizon become part of the recorded
+    // trace, so a replay re-launches the same background flows.
+    result.trace.bursts = dynamics.burstsIn(-1.0, horizon);
 
     // The gauge's baseline starts at 1 everywhere: the "model" is
     // calibrated on the static (nominal) measurement.
@@ -61,7 +64,14 @@ drive(const Dynamics &dynamics, const net::Topology &topo,
 
         sim.advanceBy(epoch);
 
-        result.trace.add(sim.now(), capturedMultipliers(sim));
+        std::vector<double> rttFactors(n * n, 1.0);
+        for (net::DcId i = 0; i < n; ++i)
+            for (net::DcId j = 0; j < n; ++j)
+                if (i != j)
+                    rttFactors[i * n + j] =
+                        sim.scenarioRttFactor(i, j);
+        result.trace.add(sim.now(), capturedMultipliers(sim),
+                         std::move(rttFactors));
 
         EpochStats stats;
         stats.t = sim.now();

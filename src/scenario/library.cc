@@ -1,6 +1,7 @@
 #include "scenario/library.hh"
 
 #include "common/error.hh"
+#include "common/rng.hh"
 
 namespace wanify {
 namespace scenario {
@@ -214,6 +215,40 @@ isLibraryScenario(const std::string &name)
         if (n == name)
             return true;
     return false;
+}
+
+core::AnalyzerConfig::DynamicsHook
+campaignDynamics()
+{
+    return [](std::size_t clusterSize, std::size_t meshIndex,
+              std::uint64_t meshSeed)
+               -> std::shared_ptr<const Dynamics> {
+        if (clusterSize < 4)
+            return nullptr;
+        const auto names = libraryScenarioNames();
+        const auto &name = names[meshIndex % names.size()];
+
+        // Training wants the scenario's *regime*, not its schedule:
+        // every event starts at t = 0 and windowed capacity events
+        // hold open, so a conditioned mesh is guaranteed to gauge
+        // inside the drifted state instead of depending on where the
+        // analyzer's random instant lands relative to the scripted
+        // windows. The sampled instant still matters where the
+        // regime itself is time-varying (diurnal phase, degradation
+        // ramp depth).
+        ScenarioSpec spec = libraryScenario(name);
+        for (auto &ev : spec.events) {
+            ev.start = 0.0;
+            ev.startJitter = 0.0;
+            if (ev.kind != EventKind::Diurnal &&
+                ev.kind != EventKind::Degradation)
+                ev.duration = kForever;
+        }
+
+        std::uint64_t state = meshSeed ^ 0x5ca1ab1eULL;
+        return std::make_shared<ScenarioTimeline>(
+            std::move(spec), clusterSize, splitmix64(state));
+    };
 }
 
 } // namespace scenario

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "core/bandwidth_analyzer.hh"
 #include "scenario/scenario.hh"
 
 namespace wanify {
@@ -30,6 +31,16 @@ ScenarioSpec libraryScenario(const std::string &name);
 
 /** True when @p name is a built-in scenario. */
 bool isLibraryScenario(const std::string &name);
+
+/**
+ * Bandwidth Analyzer dynamics hook cycling the whole library (steady
+ * included): mesh k of a campaign is conditioned on scenario
+ * names[k % names.size()], compiled for the mesh's cluster size with
+ * a seed derived from the mesh seed. Clusters smaller than 4 DCs
+ * collect stationary meshes (library specs reference DC ids up to 3).
+ * Pure and thread-safe — safe for parallel campaigns.
+ */
+core::AnalyzerConfig::DynamicsHook campaignDynamics();
 
 } // namespace scenario
 } // namespace wanify

@@ -21,30 +21,73 @@ doubleBits(double v)
     return bits;
 }
 
+/**
+ * The struct's fields are public (hand-built traces predate the RTT
+ * schema), so every consumer that indexes rttRows parallel to rows
+ * validates the invariant first instead of walking off the end.
+ */
+void
+checkParallelRows(const BwTrace &trace, const char *who)
+{
+    fatalIf(trace.rows.size() != trace.times.size() ||
+                trace.rttRows.size() != trace.rows.size(),
+            std::string(who) +
+                ": times/rows/rttRows must stay parallel (build "
+                "traces through BwTrace::add)");
+}
+
 } // namespace
 
 void
-BwTrace::add(Seconds t, std::vector<double> multipliers)
+BwTrace::add(Seconds t, std::vector<double> multipliers,
+             std::vector<double> rttFactors)
 {
     fatalIf(dcs == 0, "BwTrace::add: dcs not set");
     fatalIf(multipliers.size() != dcs * dcs,
             "BwTrace::add: multiplier count mismatch");
+    if (rttFactors.empty())
+        rttFactors.assign(dcs * dcs, 1.0);
+    fatalIf(rttFactors.size() != dcs * dcs,
+            "BwTrace::add: RTT factor count mismatch");
     fatalIf(!times.empty() && t <= times.back(),
             "BwTrace::add: times must be strictly increasing");
     times.push_back(t);
     rows.push_back(std::move(multipliers));
+    rttRows.push_back(std::move(rttFactors));
 }
+
+namespace {
+
+bool
+sameBursts(const std::vector<BurstFlow> &a,
+           const std::vector<BurstFlow> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t k = 0; k < a.size(); ++k) {
+        if (a[k].start != b[k].start ||
+            a[k].duration != b[k].duration || a[k].src != b[k].src ||
+            a[k].dst != b[k].dst ||
+            a[k].connections != b[k].connections)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
 
 bool
 BwTrace::identical(const BwTrace &other) const
 {
     return dcs == other.dcs && times == other.times &&
-           rows == other.rows;
+           rows == other.rows && rttRows == other.rttRows &&
+           sameBursts(bursts, other.bursts);
 }
 
 std::uint64_t
 BwTrace::hash() const
 {
+    checkParallelRows(*this, "BwTrace::hash");
     std::uint64_t state = 0x77414e6966790000ULL ^ dcs;
     for (std::size_t k = 0; k < times.size(); ++k) {
         state ^= doubleBits(times[k]);
@@ -53,6 +96,19 @@ BwTrace::hash() const
             state ^= doubleBits(m);
             splitmix64(state);
         }
+        for (double f : rttRows[k]) {
+            state ^= doubleBits(f);
+            splitmix64(state);
+        }
+    }
+    for (const auto &b : bursts) {
+        state ^= doubleBits(b.start) ^ doubleBits(b.duration) ^
+                 (static_cast<std::uint64_t>(b.src) << 32) ^
+                 static_cast<std::uint64_t>(b.dst) ^
+                 (static_cast<std::uint64_t>(
+                      static_cast<std::uint32_t>(b.connections))
+                  << 16);
+        splitmix64(state);
     }
     std::uint64_t digest = state;
     return splitmix64(digest);
@@ -62,9 +118,25 @@ ml::Dataset
 BwTrace::toDataset() const
 {
     fatalIf(dcs == 0, "BwTrace::toDataset: empty trace");
-    ml::Dataset data(1, dcs * dcs);
-    for (std::size_t k = 0; k < times.size(); ++k)
-        data.add({times[k]}, rows[k]);
+    checkParallelRows(*this, "BwTrace::toDataset");
+    const std::size_t pairs = dcs * dcs;
+    ml::Dataset data(1, 2 * pairs);
+    for (std::size_t k = 0; k < times.size(); ++k) {
+        std::vector<double> y = rows[k];
+        y.insert(y.end(), rttRows[k].begin(), rttRows[k].end());
+        data.add({times[k]}, std::move(y));
+    }
+    // Burst markers after the samples: t < 0, payload in the first
+    // five target slots (2 n^2 >= 8 for any n >= 2, so they fit).
+    for (std::size_t k = 0; k < bursts.size(); ++k) {
+        std::vector<double> y(2 * pairs, 0.0);
+        y[0] = bursts[k].start;
+        y[1] = bursts[k].duration;
+        y[2] = static_cast<double>(bursts[k].src);
+        y[3] = static_cast<double>(bursts[k].dst);
+        y[4] = static_cast<double>(bursts[k].connections);
+        data.add({-static_cast<double>(k + 1)}, std::move(y));
+    }
     return data;
 }
 
@@ -73,16 +145,49 @@ BwTrace::fromDataset(const ml::Dataset &data)
 {
     fatalIf(data.featureCount() != 1,
             "BwTrace::fromDataset: expected a single `t` feature");
+    // n^2 targets = legacy capacity-only layout; 2 n^2 = capacity +
+    // RTT. The two are never ambiguous (n1^2 == 2 n2^2 has no integer
+    // solutions).
+    const std::size_t out = data.outputCount();
     std::size_t n = 0;
-    while (n * n < data.outputCount())
+    while (n * n < out)
         ++n;
-    fatalIf(n * n != data.outputCount() || n < 2,
+    bool withRtt = false;
+    if (n * n != out) {
+        n = 0;
+        while (2 * n * n < out)
+            ++n;
+        withRtt = true;
+    }
+    fatalIf((withRtt ? 2 * n * n : n * n) != out || n < 2,
             "BwTrace::fromDataset: target count is not a DC-pair "
             "square");
     BwTrace trace;
     trace.dcs = n;
-    for (std::size_t i = 0; i < data.size(); ++i)
-        trace.add(data.x(i)[0], data.y(i));
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        const double t = data.x(i)[0];
+        const auto &y = data.y(i);
+        if (t < 0.0) {
+            fatalIf(!withRtt,
+                    "BwTrace::fromDataset: burst marker in a legacy "
+                    "trace");
+            BurstFlow burst;
+            burst.start = y[0];
+            burst.duration = y[1];
+            burst.src = static_cast<net::DcId>(y[2]);
+            burst.dst = static_cast<net::DcId>(y[3]);
+            burst.connections = static_cast<int>(y[4]);
+            trace.bursts.push_back(burst);
+            continue;
+        }
+        if (!withRtt) {
+            trace.add(t, y);
+            continue;
+        }
+        std::vector<double> caps(y.begin(), y.begin() + n * n);
+        std::vector<double> rtts(y.begin() + n * n, y.end());
+        trace.add(t, std::move(caps), std::move(rtts));
+    }
     return trace;
 }
 
@@ -120,6 +225,7 @@ capturedMultipliers(const net::NetworkSim &sim)
 TraceReplay::TraceReplay(BwTrace trace) : trace_(std::move(trace))
 {
     fatalIf(trace_.empty(), "TraceReplay: empty trace");
+    checkParallelRows(trace_, "TraceReplay");
 }
 
 void
@@ -140,10 +246,25 @@ TraceReplay::applyAt(net::NetworkSim &sim, Seconds t) const
             ? trace_.times.size() - 1
             : static_cast<std::size_t>(it - trace_.times.begin());
     const auto &row = trace_.rows[k];
-    for (net::DcId i = 0; i < n; ++i)
-        for (net::DcId j = 0; j < n; ++j)
-            if (i != j)
-                sim.setScenarioCapFactor(i, j, row[i * n + j]);
+    const auto &rtt = trace_.rttRows[k];
+    for (net::DcId i = 0; i < n; ++i) {
+        for (net::DcId j = 0; j < n; ++j) {
+            if (i == j)
+                continue;
+            sim.setScenarioCapFactor(i, j, row[i * n + j]);
+            sim.setScenarioRttFactor(i, j, rtt[i * n + j]);
+        }
+    }
+}
+
+std::vector<BurstFlow>
+TraceReplay::burstsIn(Seconds t0, Seconds t1) const
+{
+    std::vector<BurstFlow> out;
+    for (const auto &b : trace_.bursts)
+        if (b.start > t0 && b.start <= t1)
+            out.push_back(b);
+    return out;
 }
 
 } // namespace scenario

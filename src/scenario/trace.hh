@@ -4,21 +4,26 @@
  *
  * A BwTrace is a time series of effective per-pair capacity
  * multipliers sampled from a live simulation (OU fluctuation ×
- * scenario factors). Persisted as CSV through the dataset round-trip
- * in ml/csv.* (one feature column `t`, one target column per ordered
- * DC pair; written at max_digits10 so doubles survive the round trip
- * exactly), a captured timeline can be re-run: TraceReplay plays the
- * samples back through the NetworkSim scenario hooks on a
- * fluctuation-free simulator, reproducing each recorded effective
- * capacity to within one floating-point rounding (the nominal cap is
- * divided out on record and multiplied back on replay). Sample
- * timestamps mark interval *ends*: replay holds row k over
- * (t_{k-1}, t_k]. Two caveats: replaying a replayed trace IS
- * bit-exact (the medium is closed under replay), and a replay's
- * *drift telemetry* is recomputed on the replayed medium — recorded
- * OU noise rides in the multipliers and reads as scenario capacity
- * there, so a replay can report slightly different drift fractions
- * than the original run while the trace itself matches.
+ * scenario factors), plus the per-pair RTT factors and the background
+ * burst events active over the recording. Persisted as CSV through
+ * the dataset round-trip in ml/csv.* (one feature column `t`; per
+ * sample one capacity-multiplier column and one RTT-factor column per
+ * ordered DC pair; burst events ride along as marker rows with t < 0;
+ * written at max_digits10 so doubles survive the round trip exactly),
+ * a captured timeline can be re-run: TraceReplay plays the samples
+ * back through the NetworkSim scenario hooks on a fluctuation-free
+ * simulator, reproducing each recorded effective capacity to within
+ * one floating-point rounding (the nominal cap is divided out on
+ * record and multiplied back on replay) and re-launching the recorded
+ * bursts through Dynamics::burstsIn. Sample timestamps mark interval
+ * *ends*: replay holds row k over (t_{k-1}, t_k]. Legacy traces
+ * (capacity columns only) still load: their RTT factors default to 1
+ * and their burst list is empty. Two caveats: replaying a replayed
+ * trace IS bit-exact (the medium is closed under replay), and a
+ * replay's *drift telemetry* is recomputed on the replayed medium —
+ * recorded OU noise rides in the multipliers and reads as scenario
+ * capacity there, so a replay can report slightly different drift
+ * fractions than the original run while the trace itself matches.
  */
 
 #ifndef WANIFY_SCENARIO_TRACE_HH
@@ -34,7 +39,8 @@
 namespace wanify {
 namespace scenario {
 
-/** A recorded timeline of per-pair capacity multipliers. */
+/** A recorded timeline of per-pair capacity multipliers, RTT factors,
+ *  and background burst events. */
 struct BwTrace
 {
     /** Cluster size; rows hold dcs * dcs multipliers (src * n + dst). */
@@ -43,8 +49,18 @@ struct BwTrace
     std::vector<Seconds> times;
     std::vector<std::vector<double>> rows;
 
-    /** Append one sample; multipliers.size() must equal dcs * dcs. */
-    void add(Seconds t, std::vector<double> multipliers);
+    /** Per-sample RTT factors, parallel to `rows` (src * n + dst). */
+    std::vector<std::vector<double>> rttRows;
+
+    /** Background flows recorded over the trace's horizon. */
+    std::vector<BurstFlow> bursts;
+
+    /**
+     * Append one sample; multipliers.size() must equal dcs * dcs.
+     * An empty @p rttFactors means "no inflation" (all factors 1).
+     */
+    void add(Seconds t, std::vector<double> multipliers,
+             std::vector<double> rttFactors = {});
 
     std::size_t size() const { return times.size(); }
     bool empty() const { return times.empty(); }
@@ -55,10 +71,16 @@ struct BwTrace
     /** Order-sensitive splitmix64 digest of every sample bit. */
     std::uint64_t hash() const;
 
-    /** Convert to a dataset (feature `t`, targets y0..y_{n*n-1}). */
+    /**
+     * Convert to a dataset: feature `t`, 2 n^2 targets (capacity
+     * multipliers then RTT factors, both src * n + dst). Burst events
+     * are appended as marker rows with t < 0 carrying (start,
+     * duration, src, dst, connections) in the first five targets.
+     */
     ml::Dataset toDataset() const;
 
-    /** Rebuild from a dataset written by toDataset(). */
+    /** Rebuild from a dataset written by toDataset(). Also accepts
+     *  the legacy capacity-only layout (n^2 targets, no markers). */
     static BwTrace fromDataset(const ml::Dataset &data);
 };
 
@@ -83,10 +105,14 @@ class TraceReplay : public Dynamics
 
     std::size_t dcCount() const override { return trace_.dcs; }
 
-    /** Install the row covering time @p t (interval-end semantics:
-     *  the earliest sample with time > t; the last row once t is at
-     *  or beyond the final timestamp). */
+    /** Install the capacity and RTT row covering time @p t
+     *  (interval-end semantics: the earliest sample with time > t;
+     *  the last row once t is at or beyond the final timestamp). */
     void applyAt(net::NetworkSim &sim, Seconds t) const override;
+
+    /** Recorded burst events starting inside (t0, t1]. */
+    std::vector<BurstFlow> burstsIn(Seconds t0,
+                                    Seconds t1) const override;
 
     const BwTrace &trace() const { return trace_; }
 

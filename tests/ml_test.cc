@@ -209,6 +209,74 @@ TEST(RandomForest, WarmStartRejectsShapeChange)
     EXPECT_THROW(forest.warmStart(other, 2, 52), FatalError);
 }
 
+TEST(RandomForest, WarmStartOnUntrainedForestTrainsFromScratch)
+{
+    ForestConfig cfg;
+    cfg.nEstimators = 10;
+    RandomForestRegressor forest(cfg);
+    EXPECT_FALSE(forest.trained());
+
+    forest.warmStart(linearData(300, 55), 6, 56);
+    EXPECT_TRUE(forest.trained());
+    // The extra trees are the whole ensemble; nEstimators is only
+    // the fit() batch size.
+    EXPECT_EQ(forest.treeCount(), 6u);
+    EXPECT_NEAR(forest.predictScalar({5.0, 1.0}), 15.0, 1.5);
+    // Shape is locked in by the warm start.
+    Dataset other(3, 1);
+    other.add({1.0, 2.0, 3.0}, 4.0);
+    EXPECT_THROW(forest.warmStart(other, 2, 57), FatalError);
+}
+
+TEST(RandomForest, WarmStartRejectsZeroExtraTrees)
+{
+    RandomForestRegressor forest;
+    const auto data = linearData(100, 58);
+    // Zero extra trees is invalid whether or not the forest has been
+    // fit — a no-op "retrain" would silently report stale accuracy.
+    EXPECT_THROW(forest.warmStart(data, 0, 59), FatalError);
+    forest.fit(data, 60);
+    EXPECT_THROW(forest.warmStart(data, 0, 61), FatalError);
+}
+
+TEST(RandomForest, OobR2ImprovesAsAppendedDataGrows)
+{
+    // The warm-start story of Section 3.3.4: the original batch is
+    // noisy, the appended runtime gauges are cleaner and more
+    // plentiful, so each warm start's OOB R^2 (computed over the
+    // union) must climb monotonically.
+    auto noisy = [](std::size_t n, std::uint64_t seed, double sd) {
+        Rng rng(seed);
+        Dataset data(2, 1);
+        for (std::size_t i = 0; i < n; ++i) {
+            const double x0 = rng.uniform(0.0, 10.0);
+            const double x1 = rng.uniform(0.0, 10.0);
+            data.add({x0, x1}, 3.0 * x0 + rng.normal(0.0, sd));
+        }
+        return data;
+    };
+
+    ForestConfig cfg;
+    cfg.nEstimators = 15;
+    RandomForestRegressor forest(cfg);
+    auto data = noisy(40, 62, 8.0);
+    forest.fit(data, 63);
+    const double before = forest.oobR2();
+    ASSERT_FALSE(std::isnan(before));
+
+    data.append(noisy(300, 64, 0.5));
+    forest.warmStart(data, 15, 65);
+    const double mid = forest.oobR2();
+    ASSERT_FALSE(std::isnan(mid));
+    EXPECT_GT(mid, before);
+
+    data.append(noisy(600, 66, 0.5));
+    forest.warmStart(data, 15, 67);
+    const double after = forest.oobR2();
+    ASSERT_FALSE(std::isnan(after));
+    EXPECT_GT(after, mid);
+}
+
 TEST(RandomForest, FeatureImportancesNormalized)
 {
     RandomForestRegressor forest;

@@ -10,11 +10,16 @@
 #include <cstdio>
 #include <string>
 
+#include <algorithm>
+#include <set>
+
 #include "common/error.hh"
+#include "core/bandwidth_analyzer.hh"
 #include "experiments/predictor_factory.hh"
 #include "experiments/runner.hh"
 #include "experiments/testbed.hh"
 #include "gda/engine.hh"
+#include "ml/csv.hh"
 #include "sched/locality.hh"
 #include "scenario/driver.hh"
 #include "scenario/library.hh"
@@ -185,6 +190,117 @@ TEST(ScenarioLibrary, HasAtLeastSixScenariosAndAllCompile)
     EXPECT_THROW(libraryScenario("no-such-scenario"), FatalError);
 }
 
+// ---- scenario-conditioned analyzer campaigns --------------------------------
+
+namespace {
+
+core::AnalyzerConfig
+campaignConfig(std::size_t meshes)
+{
+    core::AnalyzerConfig cfg;
+    cfg.clusterSizes = {4};
+    cfg.meshesPerSize = meshes;
+    cfg.sim = experiments::defaultSimConfig();
+    cfg.dynamics = campaignDynamics();
+    return cfg;
+}
+
+/** Smallest stable BW over every mesh's off-diagonal pairs. */
+Mbps
+minStableBw(const std::vector<core::CollectedMesh> &meshes)
+{
+    Mbps lo = -1.0;
+    for (const auto &mesh : meshes) {
+        const std::size_t n = mesh.clusterSize;
+        for (net::DcId i = 0; i < n; ++i) {
+            for (net::DcId j = 0; j < n; ++j) {
+                if (i == j)
+                    continue;
+                const Mbps bw = mesh.stableBw.at(i, j);
+                lo = lo < 0.0 ? bw : std::min(lo, bw);
+            }
+        }
+    }
+    return std::max(0.0, lo);
+}
+
+} // namespace
+
+TEST(AnalyzerCampaign, MeshSeedsAreCollisionFree)
+{
+    // The shared predictor's campaign: 4 sizes x 24 meshes. Every
+    // mesh must get its own warm-up stream (the old scheme reused
+    // one stream per size).
+    core::AnalyzerConfig cfg;
+    cfg.clusterSizes = {2, 4, 6, 8};
+    cfg.meshesPerSize = 24;
+    const auto seeds =
+        core::BandwidthAnalyzer::meshSeeds(cfg, 20250042);
+    ASSERT_EQ(seeds.size(), 96u);
+    std::set<std::uint64_t> unique(seeds.begin(), seeds.end());
+    EXPECT_EQ(unique.size(), seeds.size());
+}
+
+TEST(AnalyzerCampaign, ConditionedCollectionIsDeterministic)
+{
+    core::BandwidthAnalyzer analyzer(campaignConfig(9));
+    const auto a = analyzer.collectMeshes(7);
+    const auto b = analyzer.collectMeshes(7);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t m = 0; m < a.size(); ++m) {
+        ASSERT_EQ(a[m].clusterSize, b[m].clusterSize);
+        for (net::DcId i = 0; i < 4; ++i) {
+            for (net::DcId j = 0; j < 4; ++j) {
+                EXPECT_DOUBLE_EQ(a[m].snapshotBw.at(i, j),
+                                 b[m].snapshotBw.at(i, j));
+                EXPECT_DOUBLE_EQ(a[m].stableBw.at(i, j),
+                                 b[m].stableBw.at(i, j));
+            }
+        }
+    }
+}
+
+TEST(AnalyzerCampaign, ConditioningCoversDriftedRegimes)
+{
+    // Three cycles through the library: some meshes land inside
+    // outage/degradation windows, so the campaign's worst-case
+    // stable BW sits far below anything a stationary campaign sees.
+    core::BandwidthAnalyzer conditioned(campaignConfig(27));
+    auto stationaryCfg = campaignConfig(9);
+    stationaryCfg.dynamics = nullptr;
+    core::BandwidthAnalyzer stationary(stationaryCfg);
+
+    const auto condMeshes = conditioned.collectMeshes(7);
+    const auto statMeshes = stationary.collectMeshes(7);
+    const Mbps condMin = minStableBw(condMeshes);
+    const Mbps statMin = minStableBw(statMeshes);
+    EXPECT_LT(condMin, 0.7 * statMin);
+
+    // Round-trip into training rows: one per ordered pair per mesh.
+    const auto data = conditioned.flatten(condMeshes, 7);
+    EXPECT_EQ(data.size(), condMeshes.size() * 4 * 3);
+}
+
+TEST(AnalyzerCampaign, IncrementalAbsorbAccumulatesRows)
+{
+    core::AnalyzerConfig cfg;
+    cfg.clusterSizes = {4};
+    cfg.meshesPerSize = 2;
+    cfg.sim = experiments::defaultSimConfig();
+    core::BandwidthAnalyzer analyzer(cfg);
+    const auto meshes = analyzer.collectMeshes(11);
+    ASSERT_EQ(meshes.size(), 2u);
+
+    const auto topo = experiments::workerCluster(4, 2);
+    EXPECT_EQ(analyzer.incremental().size(), 0u);
+    EXPECT_EQ(analyzer.absorb(topo, meshes, 12), 24u);
+    EXPECT_EQ(analyzer.incremental().size(), 24u);
+    EXPECT_EQ(analyzer.absorb(topo, meshes, 13), 24u);
+    EXPECT_EQ(analyzer.incremental().size(), 48u);
+    analyzer.clearIncremental();
+    EXPECT_EQ(analyzer.incremental().size(), 0u);
+}
+
 // ---- driver determinism and drift ------------------------------------------
 
 TEST(ScenarioDriver, SameSpecAndSeedIsBitIdentical)
@@ -289,10 +405,92 @@ TEST(ScenarioTrace, RejectsMalformedTraces)
     EXPECT_THROW(trace.add(1.0, {1.0}), FatalError); // dcs not set
     trace.dcs = 2;
     EXPECT_THROW(trace.add(1.0, {1.0}), FatalError); // wrong arity
+    EXPECT_THROW(trace.add(1.0, {1.0, 1.0, 1.0, 1.0}, {1.0}),
+                 FatalError); // wrong RTT arity
     trace.add(1.0, {1.0, 1.0, 1.0, 1.0});
     EXPECT_THROW(trace.add(0.5, {1.0, 1.0, 1.0, 1.0}),
                  FatalError); // non-increasing time
     EXPECT_THROW(TraceReplay(BwTrace{}), FatalError);
+}
+
+TEST(ScenarioTrace, RttAndBurstsSurviveCsvRoundTrip)
+{
+    // flash-crowd scripts both RTT inflation and background bursts.
+    const auto topo = topo4();
+    DriveConfig cfg;
+    cfg.seed = 9;
+    cfg.horizon = 150.0;
+    const auto run =
+        driveScenario(libraryScenario("flash-crowd"), topo, cfg);
+
+    ASSERT_FALSE(run.trace.bursts.empty());
+    bool sawInflation = false;
+    for (const auto &row : run.trace.rttRows)
+        for (double f : row)
+            sawInflation = sawInflation || f > 1.0;
+    EXPECT_TRUE(sawInflation);
+
+    const std::string path = tmpPath("rtt_bursts.csv");
+    writeTraceCsv(path, run.trace);
+    const auto loaded = readTraceCsv(path);
+    std::remove(path.c_str());
+    EXPECT_TRUE(loaded.identical(run.trace));
+    EXPECT_EQ(loaded.hash(), run.trace.hash());
+}
+
+TEST(ScenarioTrace, ReplayReproducesRttFactorsAndBursts)
+{
+    const auto topo = topo4();
+    DriveConfig cfg;
+    cfg.seed = 9;
+    cfg.horizon = 150.0;
+    const auto run =
+        driveScenario(libraryScenario("flash-crowd"), topo, cfg);
+
+    const auto replayed = driveReplay(run.trace, topo, cfg);
+    // RTT factors replay exactly: they carry no OU noise.
+    ASSERT_EQ(replayed.trace.rttRows.size(),
+              run.trace.rttRows.size());
+    for (std::size_t k = 0; k < run.trace.rttRows.size(); ++k)
+        for (std::size_t p = 0; p < run.trace.rttRows[k].size(); ++p)
+            EXPECT_DOUBLE_EQ(replayed.trace.rttRows[k][p],
+                             run.trace.rttRows[k][p])
+                << "sample " << k << " pair " << p;
+    // The recorded bursts are re-launched and re-recorded verbatim.
+    ASSERT_EQ(replayed.trace.bursts.size(), run.trace.bursts.size());
+    for (std::size_t b = 0; b < run.trace.bursts.size(); ++b) {
+        EXPECT_DOUBLE_EQ(replayed.trace.bursts[b].start,
+                         run.trace.bursts[b].start);
+        EXPECT_EQ(replayed.trace.bursts[b].src,
+                  run.trace.bursts[b].src);
+        EXPECT_EQ(replayed.trace.bursts[b].dst,
+                  run.trace.bursts[b].dst);
+        EXPECT_EQ(replayed.trace.bursts[b].connections,
+                  run.trace.bursts[b].connections);
+    }
+}
+
+TEST(ScenarioTrace, LegacyCapacityOnlyCsvStillLoads)
+{
+    // A trace written by the pre-RTT schema: one `t` feature and
+    // n^2 target columns, no markers.
+    ml::Dataset legacy(1, 16);
+    for (double t = 5.0; t <= 20.0; t += 5.0)
+        legacy.add({t}, std::vector<double>(16, 0.75));
+    const std::string path = tmpPath("legacy.csv");
+    ml::writeCsvFile(path, legacy, {"t"});
+    const auto loaded = readTraceCsv(path);
+    std::remove(path.c_str());
+
+    EXPECT_EQ(loaded.dcs, 4u);
+    ASSERT_EQ(loaded.size(), 4u);
+    EXPECT_TRUE(loaded.bursts.empty());
+    for (const auto &row : loaded.rttRows)
+        for (double f : row)
+            EXPECT_DOUBLE_EQ(f, 1.0);
+    for (const auto &row : loaded.rows)
+        for (double m : row)
+            EXPECT_DOUBLE_EQ(m, 0.75);
 }
 
 // ---- engine integration -----------------------------------------------------
