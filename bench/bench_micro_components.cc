@@ -13,6 +13,7 @@
 #include "core/global_optimizer.hh"
 #include "experiments/predictor_factory.hh"
 #include "experiments/testbed.hh"
+#include "ml/compiled_forest.hh"
 #include "monitor/features.hh"
 #include "net/flow_solver.hh"
 #include "net/network_sim.hh"
@@ -98,6 +99,42 @@ BM_RandomForestPredict(benchmark::State &state)
         benchmark::DoNotOptimize(predictor->predictPair(features));
 }
 BENCHMARK(BM_RandomForestPredict);
+
+void
+BM_RandomForestPredictCompiled(benchmark::State &state)
+{
+    // The allocation-free compiled walk of the same ensemble
+    // BM_RandomForestPredict evaluates through the batch facade.
+    const auto predictor = experiments::sharedPredictor();
+    const ml::CompiledForest &compiled =
+        predictor->forest().compiled();
+    const std::vector<double> features = {8.0, 250.0, 0.4,
+                                          0.3, 0.1, 9000.0};
+    double out = 0.0;
+    for (auto _ : state) {
+        compiled.predictInto(features.data(), &out);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_RandomForestPredictCompiled);
+
+void
+BM_PredictMatrixBatched8(benchmark::State &state)
+{
+    // The full predict->plan input: all 56 ordered pairs of an 8-DC
+    // mesh through one batched inference.
+    const auto predictor = experiments::sharedPredictor();
+    const auto topo = experiments::monitoringCluster(8);
+    Matrix<Mbps> snapshot = Matrix<Mbps>::square(8, 0.0);
+    for (std::size_t i = 0; i < 8; ++i)
+        for (std::size_t j = 0; j < 8; ++j)
+            snapshot.at(i, j) =
+                i == j ? 5800.0 : topo.connCap(i, j);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            predictor->predictMatrix(topo, snapshot));
+}
+BENCHMARK(BM_PredictMatrixBatched8);
 
 void
 BM_InferDcRelations(benchmark::State &state)

@@ -93,6 +93,51 @@ predictedBwMatrix(const BenchContext &ctx, std::uint64_t seed = 31337)
     return ctx.predictor->predictMatrix(ctx.topo, snapshot);
 }
 
+/**
+ * A predictor with the production forest shape (100 trees, depth 14)
+ * trained on a deterministic synthetic Table 3 dataset — for inference
+ * perf measurement, where the forest's shape matters but the analyzer
+ * campaign's simulation cost does not.
+ */
+inline core::RuntimeBwPredictor
+syntheticPredictor(std::size_t nEstimators = 100,
+                   std::uint64_t seed = 20250731)
+{
+    Rng rng(seed);
+    ml::Dataset data(monitor::kFeatureCount, 1);
+    for (int s = 0; s < 1500; ++s) {
+        const double n = 2.0 + rng.uniformInt(0, 6);
+        const double snap = rng.uniform(20.0, 2000.0);
+        const double mem = rng.uniform(0.1, 0.9);
+        const double cpu = rng.uniform(0.1, 0.9);
+        const double retrans = rng.uniform(0.0, 0.5);
+        const double dist = rng.uniform(100.0, 11000.0);
+        const double target = snap * (1.1 - 0.3 * retrans) -
+                              0.01 * dist + 40.0 * mem +
+                              rng.normal(0.0, 25.0);
+        data.add({n, snap, mem, cpu, retrans, dist}, target);
+    }
+    ml::ForestConfig cfg = experiments::sharedForestConfig();
+    cfg.nEstimators = nEstimators;
+    core::RuntimeBwPredictor predictor(cfg);
+    predictor.train(data, seed ^ 0x9e3779b97f4a7c15ULL);
+    return predictor;
+}
+
+/** Deterministic synthetic snapshot mesh for a topology. */
+inline Matrix<Mbps>
+syntheticSnapshot(const net::Topology &topo, std::uint64_t seed = 99)
+{
+    const std::size_t n = topo.dcCount();
+    Matrix<Mbps> snapshot = Matrix<Mbps>::square(n, 0.0);
+    Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            snapshot.at(i, j) =
+                i == j ? 5800.0 : rng.uniform(50.0, 1500.0);
+    return snapshot;
+}
+
 /** Print one aggregate row: latency (s), cost ($), min BW (Mbps). */
 inline std::vector<std::string>
 aggRow(const std::string &name, const experiments::Aggregate &a)

@@ -106,6 +106,9 @@ BandwidthAnalyzer::appendRows(ml::Dataset &out,
     fatalIf(topo.dcCount() != n,
             "BandwidthAnalyzer::appendRows: topology/mesh size "
             "mismatch");
+    // One scratch row reused across the mesh's pairs; emitted through
+    // the same into-buffer feature path the batched predictor uses.
+    std::vector<double> row(monitor::kFeatureCount, 0.0);
     for (DcId i = 0; i < n; ++i) {
         for (DcId j = 0; j < n; ++j) {
             if (i == j)
@@ -119,9 +122,9 @@ BandwidthAnalyzer::appendRows(ml::Dataset &out,
             const double retrans = std::max(
                 0.0, 1.0 - mesh.snapshotBw.at(i, j) /
                                std::max(cap, 1.0));
-            out.add(monitor::pairFeatures(topo, mesh.snapshotBw, i,
-                                          j, load, retrans),
-                    mesh.stableBw.at(i, j));
+            monitor::pairFeaturesInto(topo, mesh.snapshotBw, i, j,
+                                      load, retrans, row.data());
+            out.add(row, mesh.stableBw.at(i, j));
         }
     }
 }

@@ -35,7 +35,14 @@ RuntimeBwPredictor::predictPair(
     const std::vector<double> &features) const
 {
     panicIf(!forest_.trained(), "RuntimeBwPredictor: not trained");
-    return std::max(0.0, forest_.predictScalar(features));
+    const ml::CompiledForest &compiled = forest_.compiled();
+    fatalIf(features.size() != compiled.featureCount(),
+            "RuntimeBwPredictor: feature count mismatch");
+    panicIf(compiled.outputCount() != 1,
+            "RuntimeBwPredictor: multi-output forest");
+    double y = 0.0;
+    compiled.predictInto(features.data(), &y);
+    return std::max(0.0, y);
 }
 
 BwMatrix
@@ -43,23 +50,37 @@ RuntimeBwPredictor::predictMatrix(const net::Topology &topo,
                                   const BwMatrix &snapshotBw,
                                   const monitor::HostLoad &load) const
 {
+    panicIf(!forest_.trained(), "RuntimeBwPredictor: not trained");
     const std::size_t n = topo.dcCount();
     fatalIf(snapshotBw.rows() != n || snapshotBw.cols() != n,
             "predictMatrix: snapshot shape mismatch");
 
+    // One row-major feature matrix for all n*(n-1) ordered pairs,
+    // one batched inference over it: the per-pair allocations of the
+    // interpreted path (feature vector + a leaf vector per tree) are
+    // gone, and the batch fans out across the process-wide pool while
+    // staying bit-identical to a sequential per-pair loop.
+    const ml::CompiledForest &compiled = forest_.compiled();
+    panicIf(compiled.featureCount() != monitor::kFeatureCount ||
+                compiled.outputCount() != 1,
+            "predictMatrix: forest shape mismatch");
+    const std::size_t pairs = n * (n - 1);
+    std::vector<double> features(pairs * monitor::kFeatureCount);
+    std::vector<double> outputs(pairs);
+
+    const std::size_t rows =
+        monitor::matrixFeaturesInto(topo, snapshotBw, load,
+                                    features.data());
+    panicIf(rows != pairs, "predictMatrix: pair row count mismatch");
+    compiled.predictBatch(features.data(), pairs, outputs.data());
+
     BwMatrix predicted = BwMatrix::square(n, 0.0);
+    std::size_t row = 0;
     for (net::DcId i = 0; i < n; ++i) {
         for (net::DcId j = 0; j < n; ++j) {
-            if (i == j) {
-                predicted.at(i, j) = snapshotBw.at(i, j);
-                continue;
-            }
-            const double cap = topo.connCap(i, j);
-            const double retrans = std::max(
-                0.0,
-                1.0 - snapshotBw.at(i, j) / std::max(cap, 1.0));
-            predicted.at(i, j) = predictPair(monitor::pairFeatures(
-                topo, snapshotBw, i, j, load, retrans));
+            predicted.at(i, j) = i == j
+                                     ? snapshotBw.at(i, j)
+                                     : std::max(0.0, outputs[row++]);
         }
     }
     return predicted;

@@ -85,17 +85,27 @@ estimateStageCost(const StageContext &ctx,
     return total;
 }
 
-Matrix<Bytes>
-assignmentFromFractions(const std::vector<Bytes> &inputByDc,
-                        const std::vector<double> &fractions)
+void
+assignmentFromFractionsInto(const std::vector<Bytes> &inputByDc,
+                            const std::vector<double> &fractions,
+                            Matrix<Bytes> &out)
 {
     const std::size_t n = inputByDc.size();
     fatalIf(fractions.size() != n,
             "assignmentFromFractions: size mismatch");
-    Matrix<Bytes> a = Matrix<Bytes>::square(n, 0.0);
+    if (out.rows() != n || out.cols() != n)
+        out = Matrix<Bytes>::square(n, 0.0);
     for (std::size_t i = 0; i < n; ++i)
         for (std::size_t j = 0; j < n; ++j)
-            a.at(i, j) = inputByDc[i] * fractions[j];
+            out.at(i, j) = inputByDc[i] * fractions[j];
+}
+
+Matrix<Bytes>
+assignmentFromFractions(const std::vector<Bytes> &inputByDc,
+                        const std::vector<double> &fractions)
+{
+    Matrix<Bytes> a;
+    assignmentFromFractionsInto(inputByDc, fractions, a);
     return a;
 }
 

@@ -59,6 +59,16 @@ Dollars estimateStageCost(const StageContext &ctx,
 Matrix<Bytes> assignmentFromFractions(const std::vector<Bytes> &inputByDc,
                                       const std::vector<double> &fractions);
 
+/**
+ * In-place variant: overwrite @p out with the assignment, reshaping
+ * it only when its shape differs. The fraction search evaluates up to
+ * maxIterations x dcCount^2 candidate moves per stage; reusing one
+ * scratch matrix keeps that inner loop allocation-free.
+ */
+void assignmentFromFractionsInto(const std::vector<Bytes> &inputByDc,
+                                 const std::vector<double> &fractions,
+                                 Matrix<Bytes> &out);
+
 class Scheduler
 {
   public:

@@ -1,0 +1,298 @@
+#include "ml/compiled_forest.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hh"
+#include "common/thread_pool.hh"
+
+namespace wanify {
+namespace ml {
+
+CompiledForest::CompiledForest(
+    const std::vector<DecisionTreeRegressor> &trees)
+{
+    if (trees.empty())
+        return;
+
+    std::size_t totalNodes = 0;
+    for (const auto &tree : trees) {
+        fatalIf(!tree.trained(),
+                "CompiledForest: unfitted tree in ensemble");
+        fatalIf(tree.featureCount() != trees.front().featureCount() ||
+                    tree.outputCount() != trees.front().outputCount(),
+                "CompiledForest: tree shape mismatch");
+        totalNodes += tree.nodeCount();
+    }
+
+    treeCount_ = trees.size();
+    featureCount_ = trees.front().featureCount();
+    outputCount_ = trees.front().outputCount();
+
+    // Child references pack (node index, child feature) into 32 bits.
+    featShift_ = 0;
+    while ((1ull << featShift_) < featureCount_)
+        ++featShift_;
+    featMask_ = (1u << featShift_) - 1u;
+    fatalIf(totalNodes >= (1ull << (32u - featShift_)),
+            "CompiledForest: ensemble too large for packed 32-bit "
+            "child references");
+
+    nodes_.reserve(totalNodes);
+    leafOfs_.reserve(totalNodes);
+    rootRef_.reserve(treeCount_);
+    depth_.reserve(treeCount_);
+
+    for (const auto &tree : trees) {
+        const auto &src = tree.nodes();
+        const auto base = static_cast<std::uint32_t>(nodes_.size());
+
+        // ref = (absolute index << featShift_) | node's own feature:
+        // a step lands with the next comparison's feature in hand.
+        auto packRef = [&](int local) {
+            const int feat =
+                src[static_cast<std::size_t>(local)].feature;
+            return ((base + static_cast<std::uint32_t>(local))
+                    << featShift_) |
+                   static_cast<std::uint32_t>(feat < 0 ? 0 : feat);
+        };
+
+        rootRef_.push_back(packRef(0));
+        // Fixed walk length: a leaf at depth d absorbs the remaining
+        // steps via its self-loop, so depth() - 1 steps land every
+        // row on its leaf.
+        depth_.push_back(static_cast<std::int32_t>(tree.depth()) - 1);
+
+        for (std::size_t local = 0; local < src.size(); ++local) {
+            const auto &node = src[local];
+            PackedNode packed;
+            if (node.feature < 0) {
+                fatalIf(node.leafValue.size() != outputCount_,
+                        "CompiledForest: leaf shape mismatch");
+                // Branchless leaf: both children loop back to self,
+                // so the walk parks here whichever way the comparison
+                // goes — which leaves the threshold field dead. For
+                // single-output forests (the production predictor) it
+                // carries the leaf value itself, so accumulation
+                // reads the node already in cache instead of
+                // indirecting through the pooled leaf array.
+                packed.threshold =
+                    outputCount_ == 1
+                        ? node.leafValue.front()
+                        : std::numeric_limits<double>::infinity();
+                packed.left = packRef(static_cast<int>(local));
+                packed.right = packed.left;
+                leafOfs_.push_back(
+                    static_cast<std::int32_t>(leafValues_.size()));
+                leafValues_.insert(leafValues_.end(),
+                                   node.leafValue.begin(),
+                                   node.leafValue.end());
+                ++leafCount_;
+            } else {
+                packed.threshold = node.threshold;
+                packed.left = packRef(node.left);
+                packed.right = packRef(node.right);
+                leafOfs_.push_back(-1);
+            }
+            nodes_.push_back(packed);
+        }
+    }
+}
+
+void
+CompiledForest::predictInto(const double *x, double *out) const
+{
+    panicIf(empty(), "CompiledForest::predictInto on empty forest");
+    const std::size_t o = outputCount_;
+    for (std::size_t k = 0; k < o; ++k)
+        out[k] = 0.0;
+
+    // Same accumulation order and arithmetic as the interpreted
+    // reference path: per-tree leaf sums in tree order, one divide.
+    const PackedNode *nodes = nodes_.data();
+    const double *leaves = leafValues_.data();
+    const std::uint32_t shift = featShift_;
+    const std::uint32_t mask = featMask_;
+
+    for (std::size_t t = 0; t < treeCount_; ++t) {
+        std::uint32_t ref = rootRef_[t];
+        for (;;) {
+            const PackedNode &node = nodes[ref >> shift];
+            const auto goLeft = static_cast<std::uint32_t>(
+                x[ref & mask] <= node.threshold);
+            const std::uint32_t next =
+                node.right ^
+                ((node.left ^ node.right) & (0u - goLeft));
+            if (next == ref)
+                break; // leaf self-loop
+            ref = next;
+        }
+        if (o == 1) {
+            // Single-output leaf value lives in the parked node.
+            out[0] += nodes[ref >> shift].threshold;
+        } else {
+            const double *leaf = leaves + leafOfs_[ref >> shift];
+            for (std::size_t k = 0; k < o; ++k)
+                out[k] += leaf[k];
+        }
+    }
+    const double inv = static_cast<double>(treeCount_);
+    for (std::size_t k = 0; k < o; ++k)
+        out[k] /= inv;
+}
+
+void
+CompiledForest::predictRange(const double *X, std::size_t begin,
+                             std::size_t end, double *Y) const
+{
+    const std::size_t f = featureCount_;
+    const std::size_t o = outputCount_;
+    for (std::size_t r = begin; r < end; ++r)
+        for (std::size_t k = 0; k < o; ++k)
+            Y[r * o + k] = 0.0;
+
+    const PackedNode *nodes = nodes_.data();
+    const double *leaves = leafValues_.data();
+    const std::uint32_t shift = featShift_;
+    const std::uint32_t mask = featMask_;
+
+    // One walk step: land on the node, compare its feature value,
+    // take a child reference. The child select is computed with mask
+    // arithmetic — a ternary here compiles to a branch that random
+    // 50/50 splits mispredict constantly.
+    auto step = [&](std::uint32_t ref, const double *xrow) {
+        const PackedNode &node = nodes[ref >> shift];
+        const double v = xrow[ref & mask];
+        const auto goLeft =
+            static_cast<std::uint32_t>(v <= node.threshold);
+        return node.right ^
+               ((node.left ^ node.right) & (0u - goLeft));
+    };
+
+    // Walk a lane to its leaf (parks on the leaf's self-loop).
+    auto finish = [&](std::uint32_t ref, const double *xrow) {
+        for (;;) {
+            const std::uint32_t next = step(ref, xrow);
+            if (next == ref)
+                return ref;
+            ref = next;
+        }
+    };
+
+    // Tree-major, lane-interleaved: walking one tree across a block
+    // of eight rows keeps that tree's nodes cache-hot, and stepping
+    // eight independent walks per round hides the dependent-load
+    // latency a single walk serializes on. The lanes are individual
+    // locals (not an array) so they live in registers. The walk runs
+    // in two phases: a branch-free lockstep march to the typical
+    // leaf depth (self-looping leaves absorb surplus steps), then a
+    // per-lane early-exit finish for the few deep lanes, so shallow
+    // leaves don't pay for the tree's maximum depth. Each row still
+    // accumulates its leaves in tree order and divides once, so the
+    // result is bit-identical to predictInto on that row.
+    constexpr std::size_t kLanes = 8;
+    const std::size_t blockEnd =
+        begin + (end - begin) / kLanes * kLanes;
+
+    for (std::size_t t = 0; t < treeCount_; ++t) {
+        const std::uint32_t rootRef = rootRef_[t];
+        const std::int32_t rounds = depth_[t];
+        for (std::size_t r = begin; r < blockEnd; r += kLanes) {
+            const double *x0 = X + r * f;
+            const double *x1 = x0 + f;
+            const double *x2 = x1 + f;
+            const double *x3 = x2 + f;
+            const double *x4 = x3 + f;
+            const double *x5 = x4 + f;
+            const double *x6 = x5 + f;
+            const double *x7 = x6 + f;
+            std::uint32_t r0 = rootRef, r1 = rootRef;
+            std::uint32_t r2 = rootRef, r3 = rootRef;
+            std::uint32_t r4 = rootRef, r5 = rootRef;
+            std::uint32_t r6 = rootRef, r7 = rootRef;
+            // Phase 1: lockstep to the typical leaf depth. Lanes
+            // whose leaf sits shallower park on its self-loop.
+            const std::int32_t lockstep =
+                std::min<std::int32_t>(rounds, 9);
+            for (std::int32_t d = lockstep; d > 0; --d) {
+                r0 = step(r0, x0);
+                r1 = step(r1, x1);
+                r2 = step(r2, x2);
+                r3 = step(r3, x3);
+                r4 = step(r4, x4);
+                r5 = step(r5, x5);
+                r6 = step(r6, x6);
+                r7 = step(r7, x7);
+            }
+            // Phase 2: finish the deep lanes individually instead of
+            // marching every lane to the tree's maximum depth.
+            if (lockstep < rounds) {
+                r0 = finish(r0, x0);
+                r1 = finish(r1, x1);
+                r2 = finish(r2, x2);
+                r3 = finish(r3, x3);
+                r4 = finish(r4, x4);
+                r5 = finish(r5, x5);
+                r6 = finish(r6, x6);
+                r7 = finish(r7, x7);
+            }
+            const std::uint32_t refs[kLanes] = {r0, r1, r2, r3,
+                                                r4, r5, r6, r7};
+            if (o == 1) {
+                // Single-output leaf values live in the parked
+                // nodes, already cache-hot from the walk.
+                for (std::size_t l = 0; l < kLanes; ++l)
+                    Y[r + l] += nodes[refs[l] >> shift].threshold;
+            } else {
+                for (std::size_t l = 0; l < kLanes; ++l) {
+                    const double *leaf =
+                        leaves + leafOfs_[refs[l] >> shift];
+                    double *y = Y + (r + l) * o;
+                    for (std::size_t k = 0; k < o; ++k)
+                        y[k] += leaf[k];
+                }
+            }
+        }
+    }
+
+    const double inv = static_cast<double>(treeCount_);
+    for (std::size_t r = begin; r < blockEnd; ++r)
+        for (std::size_t k = 0; k < o; ++k)
+            Y[r * o + k] /= inv;
+
+    // Tail rows (fewer than a full lane block): the single-row walk,
+    // which is bit-identical by construction.
+    for (std::size_t r = blockEnd; r < end; ++r)
+        predictInto(X + r * f, Y + r * o);
+}
+
+void
+CompiledForest::predictBatch(const double *X, std::size_t rows,
+                             double *Y, bool parallel) const
+{
+    panicIf(empty(), "CompiledForest::predictBatch on empty forest");
+    if (rows == 0)
+        return;
+
+    // Chunked fan-out: each chunk owns a fixed row range and each row
+    // a fixed output slot, so scheduling cannot change the result.
+    // Chunks are sized for ~2 per pool thread (floored so tree-major
+    // blocking keeps amortizing node loads); a 1-thread pool skips
+    // the chunking and walks the whole batch in one range.
+    ThreadPool &pool = ThreadPool::global();
+    const std::size_t threads = pool.threadCount();
+    const std::size_t chunk = std::max<std::size_t>(
+        16, (rows + 2 * threads - 1) / (2 * threads));
+    const std::size_t chunks = (rows + chunk - 1) / chunk;
+    if (!parallel || threads == 1 || chunks < 2) {
+        predictRange(X, 0, rows, Y);
+        return;
+    }
+    pool.parallelFor(chunks, [&](std::size_t c) {
+        predictRange(X, c * chunk,
+                     std::min(rows, (c + 1) * chunk), Y);
+    });
+}
+
+} // namespace ml
+} // namespace wanify

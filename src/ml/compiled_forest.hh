@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Compiled, allocation-free batched inference for the Random Forest.
+ *
+ * The interpreted ensemble walks per-tree `Node` structs with embedded
+ * leaf vectors and returns a freshly allocated vector per tree per
+ * call — fine for training-time OOB accounting, far too heavy for the
+ * predict→plan hot path, which evaluates the WAN Prediction Model once
+ * per DC pair, per AIMD epoch, per trial (Sections 3.3, 4.1.1: runtime
+ * gauging must stay cheap). CompiledForest flattens every tree into
+ * contiguous packed arrays — one 16-byte record per node (threshold +
+ * both child references, each carrying the child's feature index),
+ * plus side arrays for leaf-value offsets into one pooled leaf array —
+ * so a prediction is a pure pointer-free array walk: zero allocations,
+ * no per-node indirection, cache-friendly, and branch-free on the
+ * random 50/50 splits that defeat branch prediction.
+ *
+ * predictInto() evaluates one feature row; predictBatch() evaluates a
+ * row-major matrix of rows, optionally chunked across the process-wide
+ * ThreadPool. Every row writes a fixed output slot, so the parallel
+ * batch is bit-identical to the sequential one, and both are
+ * bit-identical to the interpreted reference path
+ * (RandomForestRegressor::predict): trees are accumulated in the same
+ * order with the same arithmetic.
+ */
+
+#ifndef WANIFY_ML_COMPILED_FOREST_HH
+#define WANIFY_ML_COMPILED_FOREST_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ml/decision_tree.hh"
+
+namespace wanify {
+namespace ml {
+
+class CompiledForest
+{
+  public:
+    /** An empty compiled forest; predictions panic. */
+    CompiledForest() = default;
+
+    /**
+     * Flatten @p trees (all fitted, same feature/output shape) into
+     * packed form. The compiled forest is an immutable snapshot: it
+     * does not observe later refits of the source trees.
+     */
+    explicit CompiledForest(
+        const std::vector<DecisionTreeRegressor> &trees);
+
+    bool empty() const { return treeCount_ == 0; }
+    std::size_t treeCount() const { return treeCount_; }
+    std::size_t featureCount() const { return featureCount_; }
+    std::size_t outputCount() const { return outputCount_; }
+    std::size_t nodeCount() const { return nodes_.size(); }
+    std::size_t leafCount() const { return leafCount_; }
+
+    /**
+     * Ensemble-mean prediction of one feature row. @p x must hold
+     * featureCount() values and @p out outputCount() slots; @p out is
+     * overwritten. Allocation-free and safe to call concurrently.
+     */
+    void predictInto(const double *x, double *out) const;
+
+    /**
+     * Predict @p rows feature rows from the row-major matrix @p X
+     * (rows x featureCount()) into the row-major @p Y (rows x
+     * outputCount()). With @p parallel the rows are chunked across the
+     * process-wide ThreadPool; each row writes only its own output
+     * slot, so the result is bit-identical to the sequential path.
+     */
+    void predictBatch(const double *X, std::size_t rows, double *Y,
+                      bool parallel = true) const;
+
+  private:
+    /** Tree-major evaluation of rows [begin, end) into Y. */
+    void predictRange(const double *X, std::size_t begin,
+                      std::size_t end, double *Y) const;
+    /**
+     * One packed 16-byte record per node, trees laid out back to
+     * back in build order (each tree's root first): the split
+     * threshold plus both child references. A child reference packs
+     * the child's node index with the *child's own* feature index
+     * (childIdx * featureCount + childFeature), so on arriving at a
+     * node the walk already knows which feature to compare — one
+     * 16-byte load and one feature load per step, no separate
+     * feature array on the hot path.
+     *
+     * Leaves are compiled branchless: both child references point
+     * back to the leaf itself, so a lockstep walk can overshoot a
+     * shallow leaf safely (the self-loop absorbs surplus steps) and
+     * batches walk several rows per tree in lockstep to hide the
+     * dependent-load latency. Because the select lands on the leaf
+     * whichever way its comparison goes, a leaf's threshold field is
+     * dead — single-output forests store the leaf value there, so
+     * accumulation never leaves the node array. Multi-output leaves
+     * keep threshold = +inf and go through leafOfs_ (cold during the
+     * walk), which maps a leaf to its offset into the pooled
+     * leafValues_ (-1 for interior nodes).
+     */
+    struct PackedNode
+    {
+        double threshold = 0.0;
+        std::uint32_t left = 0;
+        std::uint32_t right = 0;
+    };
+    static_assert(sizeof(PackedNode) == 16,
+                  "PackedNode must stay a quarter of a cache line");
+
+    std::vector<PackedNode> nodes_;
+    std::vector<std::int32_t> leafOfs_;
+
+    /**
+     * Per tree: the root's packed reference (rootIdx << featShift_ |
+     * rootFeature) and walk steps to the deepest leaf.
+     */
+    std::vector<std::uint32_t> rootRef_;
+    std::vector<std::int32_t> depth_;
+
+    /** All leaf vectors pooled, outputCount_ values per leaf. */
+    std::vector<double> leafValues_;
+
+    /** Child-reference packing: ref = (idx << featShift_) | feature. */
+    std::uint32_t featShift_ = 0;
+    std::uint32_t featMask_ = 0;
+
+    std::size_t treeCount_ = 0;
+    std::size_t featureCount_ = 0;
+    std::size_t outputCount_ = 0;
+    std::size_t leafCount_ = 0;
+};
+
+} // namespace ml
+} // namespace wanify
+
+#endif // WANIFY_ML_COMPILED_FOREST_HH

@@ -186,7 +186,7 @@ DecisionTreeRegressor::build(const Dataset &data,
     return nodeIdx;
 }
 
-std::vector<double>
+const std::vector<double> &
 DecisionTreeRegressor::predict(const std::vector<double> &x) const
 {
     panicIf(nodes_.empty(), "DecisionTree::predict before fit");
@@ -205,7 +205,7 @@ DecisionTreeRegressor::predict(const std::vector<double> &x) const
 double
 DecisionTreeRegressor::predictScalar(const std::vector<double> &x) const
 {
-    const auto y = predict(x);
+    const auto &y = predict(x);
     panicIf(y.size() != 1, "predictScalar on multi-output tree");
     return y[0];
 }

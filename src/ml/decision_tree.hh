@@ -51,15 +51,38 @@ class DecisionTreeRegressor
     /** Fit on the full dataset. */
     void fit(const Dataset &data, Rng &rng);
 
-    /** Predict the target vector for a feature vector. */
-    std::vector<double> predict(const std::vector<double> &x) const;
+    /**
+     * Predict the target vector for a feature vector. Returns a
+     * reference to the matched leaf's value (no copy); it stays valid
+     * until the tree is refit.
+     */
+    const std::vector<double> &predict(const std::vector<double> &x) const;
 
     /** Single-output shortcut. */
     double predictScalar(const std::vector<double> &x) const;
 
     bool trained() const { return !nodes_.empty(); }
     std::size_t nodeCount() const { return nodes_.size(); }
+    std::size_t featureCount() const { return featureCount_; }
+    std::size_t outputCount() const { return outputCount_; }
     std::size_t depth() const;
+
+    /** One tree node; leaves have feature == -1. */
+    struct Node
+    {
+        /** -1 for leaves. */
+        int feature = -1;
+        double threshold = 0.0;
+        int left = -1;
+        int right = -1;
+        std::vector<double> leafValue;
+    };
+
+    /**
+     * The node array in build order (root at index 0). CompiledForest
+     * flattens trees through this view.
+     */
+    const std::vector<Node> &nodes() const { return nodes_; }
 
     /**
      * Total SSE reduction contributed by each feature across all splits
@@ -71,16 +94,6 @@ class DecisionTreeRegressor
     }
 
   private:
-    struct Node
-    {
-        /** -1 for leaves. */
-        int feature = -1;
-        double threshold = 0.0;
-        int left = -1;
-        int right = -1;
-        std::vector<double> leafValue;
-    };
-
     struct SplitResult
     {
         bool found = false;

@@ -19,11 +19,56 @@ RandomForestRegressor::RandomForestRegressor(ForestConfig config)
             "RandomForest: bootstrapFraction must be in (0, 1]");
 }
 
+RandomForestRegressor::RandomForestRegressor(
+    const RandomForestRegressor &other)
+    : config_(other.config_), trees_(other.trees_),
+      featureCount_(other.featureCount_), oobR2_(other.oobR2_)
+{
+    std::lock_guard<std::mutex> lock(other.compiledMu_);
+    compiled_ = other.compiled_;
+}
+
+RandomForestRegressor &
+RandomForestRegressor::operator=(const RandomForestRegressor &other)
+{
+    if (this == &other)
+        return *this;
+    config_ = other.config_;
+    trees_ = other.trees_;
+    featureCount_ = other.featureCount_;
+    oobR2_ = other.oobR2_;
+    std::shared_ptr<const CompiledForest> snapshot;
+    {
+        std::lock_guard<std::mutex> lock(other.compiledMu_);
+        snapshot = other.compiled_;
+    }
+    std::lock_guard<std::mutex> lock(compiledMu_);
+    compiled_ = std::move(snapshot);
+    return *this;
+}
+
+void
+RandomForestRegressor::invalidateCompiled()
+{
+    std::lock_guard<std::mutex> lock(compiledMu_);
+    compiled_.reset();
+}
+
+const CompiledForest &
+RandomForestRegressor::compiled() const
+{
+    std::lock_guard<std::mutex> lock(compiledMu_);
+    if (compiled_ == nullptr)
+        compiled_ = std::make_shared<const CompiledForest>(trees_);
+    return *compiled_;
+}
+
 void
 RandomForestRegressor::fit(const Dataset &data, std::uint64_t seed)
 {
     fatalIf(data.empty(), "RandomForest::fit: empty dataset");
     trees_.clear();
+    invalidateCompiled();
     featureCount_ = data.featureCount();
     growTrees(data, config_.nEstimators, seed);
 }
@@ -93,6 +138,7 @@ RandomForestRegressor::growTrees(const Dataset &data, std::size_t count,
         trees_.resize(firstNew, DecisionTreeRegressor(config_.tree));
         throw;
     }
+    invalidateCompiled();
     computeOob(data, bags);
 }
 
@@ -125,7 +171,8 @@ RandomForestRegressor::computeOob(
         for (std::size_t t = 0; t < bags.size(); ++t) {
             if (inBag[t][i])
                 continue;
-            pred += trees_[firstNew + t].predict(data.x(i))[0];
+            // const-ref leaf access: no per-vote temporary.
+            pred += trees_[firstNew + t].predict(data.x(i)).front();
             ++votes;
         }
         if (votes == 0)
@@ -149,7 +196,7 @@ RandomForestRegressor::predict(const std::vector<double> &x) const
     panicIf(trees_.empty(), "RandomForest::predict before fit");
     std::vector<double> mean;
     for (const auto &tree : trees_) {
-        const auto y = tree.predict(x);
+        const auto &y = tree.predict(x);
         if (mean.empty())
             mean.assign(y.size(), 0.0);
         for (std::size_t k = 0; k < y.size(); ++k)

@@ -15,8 +15,11 @@
 #define WANIFY_ML_RANDOM_FOREST_HH
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
+#include "ml/compiled_forest.hh"
 #include "ml/decision_tree.hh"
 
 namespace wanify {
@@ -52,6 +55,14 @@ class RandomForestRegressor
   public:
     explicit RandomForestRegressor(ForestConfig config = {});
 
+    /**
+     * Copies share the (immutable) compiled snapshot; the tree
+     * ensemble itself is deep-copied. Needed explicitly because the
+     * lazy-compile guard is not copyable.
+     */
+    RandomForestRegressor(const RandomForestRegressor &other);
+    RandomForestRegressor &operator=(const RandomForestRegressor &other);
+
     /** Train from scratch, replacing any existing trees. */
     void fit(const Dataset &data, std::uint64_t seed);
 
@@ -68,14 +79,33 @@ class RandomForestRegressor
     void warmStart(const Dataset &data, std::size_t extraTrees,
                    std::uint64_t seed);
 
-    /** Ensemble-mean prediction. */
+    /**
+     * Ensemble-mean prediction — the interpreted reference path. Hot
+     * paths should go through compiled() instead; both produce
+     * bit-identical results.
+     */
     std::vector<double> predict(const std::vector<double> &x) const;
 
     /** Single-output shortcut. */
     double predictScalar(const std::vector<double> &x) const;
 
+    /**
+     * The compiled inference engine for the current ensemble, built
+     * lazily on first use after fit()/warmStart() and invalidated
+     * whenever trees regrow. Thread-safe against concurrent readers;
+     * the reference stays valid until the next (non-const) refit.
+     */
+    const CompiledForest &compiled() const;
+
     bool trained() const { return !trees_.empty(); }
     std::size_t treeCount() const { return trees_.size(); }
+
+    /** The fitted ensemble (reference path; benches emulate legacy
+     *  per-call-allocating inference through this view). */
+    const std::vector<DecisionTreeRegressor> &trees() const
+    {
+        return trees_;
+    }
 
     /**
      * Out-of-bag R^2 estimate from the most recent fit()/warmStart()
@@ -94,11 +124,20 @@ class RandomForestRegressor
                    std::uint64_t seed);
     void computeOob(const Dataset &data,
                     const std::vector<std::vector<std::size_t>> &bags);
+    void invalidateCompiled();
 
     ForestConfig config_;
     std::vector<DecisionTreeRegressor> trees_;
     std::size_t featureCount_ = 0;
     double oobR2_ = 0.0;
+
+    /**
+     * Lazily built compiled snapshot, guarded by compiledMu_. Shared
+     * (not deep-copied) across forest copies: a CompiledForest is
+     * immutable once built.
+     */
+    mutable std::shared_ptr<const CompiledForest> compiled_;
+    mutable std::mutex compiledMu_;
 };
 
 } // namespace ml

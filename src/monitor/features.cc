@@ -1,5 +1,7 @@
 #include "monitor/features.hh"
 
+#include <algorithm>
+
 #include "common/error.hh"
 
 namespace wanify {
@@ -14,10 +16,11 @@ featureNames()
     return names;
 }
 
-std::vector<double>
-pairFeatures(const net::Topology &topo, const Matrix<Mbps> &snapshotBw,
-             net::DcId i, net::DcId j, const HostLoad &load,
-             double retransRate)
+void
+pairFeaturesInto(const net::Topology &topo,
+                 const Matrix<Mbps> &snapshotBw, net::DcId i,
+                 net::DcId j, const HostLoad &load, double retransRate,
+                 double *out)
 {
     fatalIf(i >= topo.dcCount() || j >= topo.dcCount(),
             "pairFeatures: DC out of range");
@@ -25,14 +28,60 @@ pairFeatures(const net::Topology &topo, const Matrix<Mbps> &snapshotBw,
                 snapshotBw.cols() != topo.dcCount(),
             "pairFeatures: snapshot matrix shape mismatch");
 
+    out[FeatN] = static_cast<double>(topo.dcCount());
+    out[FeatSnapshotBw] = snapshotBw.at(i, j);
+    out[FeatMemUtil] = load.memUtil;
+    out[FeatCpuLoad] = load.cpuLoad;
+    out[FeatRetrans] = retransRate;
+    out[FeatDistance] = units::toMiles(topo.distanceKm(i, j));
+}
+
+std::vector<double>
+pairFeatures(const net::Topology &topo, const Matrix<Mbps> &snapshotBw,
+             net::DcId i, net::DcId j, const HostLoad &load,
+             double retransRate)
+{
     std::vector<double> f(kFeatureCount, 0.0);
-    f[FeatN] = static_cast<double>(topo.dcCount());
-    f[FeatSnapshotBw] = snapshotBw.at(i, j);
-    f[FeatMemUtil] = load.memUtil;
-    f[FeatCpuLoad] = load.cpuLoad;
-    f[FeatRetrans] = retransRate;
-    f[FeatDistance] = units::toMiles(topo.distanceKm(i, j));
+    pairFeaturesInto(topo, snapshotBw, i, j, load, retransRate,
+                     f.data());
     return f;
+}
+
+std::size_t
+matrixFeaturesInto(const net::Topology &topo,
+                   const Matrix<Mbps> &snapshotBw,
+                   const HostLoad &load, double *X)
+{
+    const std::size_t n = topo.dcCount();
+    fatalIf(snapshotBw.rows() != n || snapshotBw.cols() != n,
+            "matrixFeaturesInto: snapshot matrix shape mismatch");
+
+    // One validated pass; per-pair fields read unchecked from the
+    // row-major backing stores.
+    const double *snap = snapshotBw.data().data();
+    const auto dcs = static_cast<double>(n);
+    double *row = X;
+    for (net::DcId i = 0; i < n; ++i) {
+        for (net::DcId j = 0; j < n; ++j) {
+            if (i == j)
+                continue;
+            const double s = snap[i * n + j];
+            const double cap = topo.connCap(i, j);
+            // Congestion proxy: how far the snapshot fell below the
+            // pair's single-connection capability.
+            const double retrans =
+                std::max(0.0, 1.0 - s / std::max(cap, 1.0));
+            row[FeatN] = dcs;
+            row[FeatSnapshotBw] = s;
+            row[FeatMemUtil] = load.memUtil;
+            row[FeatCpuLoad] = load.cpuLoad;
+            row[FeatRetrans] = retrans;
+            row[FeatDistance] =
+                units::toMiles(topo.distanceKm(i, j));
+            row += kFeatureCount;
+        }
+    }
+    return static_cast<std::size_t>(row - X) / kFeatureCount;
 }
 
 } // namespace monitor

@@ -65,6 +65,30 @@ std::vector<double> pairFeatures(const net::Topology &topo,
                                  const HostLoad &load,
                                  double retransRate);
 
+/**
+ * Allocation-free variant: emit the pair's feature vector into
+ * @p out, which must hold kFeatureCount slots. The batched
+ * predict→plan hot path fills one row-major feature matrix for all
+ * n*(n-1) pairs through this overload.
+ */
+void pairFeaturesInto(const net::Topology &topo,
+                      const Matrix<Mbps> &snapshotBw, net::DcId i,
+                      net::DcId j, const HostLoad &load,
+                      double retransRate, double *out);
+
+/**
+ * Fill the row-major feature matrix for every ordered DC pair —
+ * row per (i, j), i != j, in row-major pair order — deriving each
+ * pair's retransmission proxy from its connection capability (how
+ * far the snapshot fell below it), exactly as pairFeatures callers
+ * do individually. @p X must hold n*(n-1) * kFeatureCount slots.
+ * Shape checks run once per matrix, not once per pair: this is the
+ * batched predictMatrix hot path. Returns the rows written.
+ */
+std::size_t matrixFeaturesInto(const net::Topology &topo,
+                               const Matrix<Mbps> &snapshotBw,
+                               const HostLoad &load, double *X);
+
 } // namespace monitor
 } // namespace wanify
 

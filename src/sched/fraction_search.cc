@@ -28,13 +28,19 @@ searchFractions(const gda::StageContext &ctx,
             f = std::max(0.0, f) / sum;
     }
 
+    // One scratch assignment matrix reused across every objective
+    // evaluation (up to maxIterations x n^2 candidate moves), and one
+    // scratch candidate vector overwritten per move: the search's
+    // inner loop allocates nothing after the first evaluation.
+    Matrix<Bytes> scratch;
     auto evaluate = [&](const std::vector<double> &r) {
-        return objective(
-            gda::assignmentFromFractions(ctx.inputByDc, r));
+        gda::assignmentFromFractionsInto(ctx.inputByDc, r, scratch);
+        return objective(scratch);
     };
 
     std::vector<double> best = seedFractions;
     double bestValue = evaluate(best);
+    std::vector<double> candidate(n);
 
     for (std::size_t iter = 0; iter < cfg.maxIterations; ++iter) {
         // Try every (from, to) move of cfg.step and take the best.
@@ -46,7 +52,7 @@ searchFractions(const gda::StageContext &ctx,
             for (std::size_t to = 0; to < n; ++to) {
                 if (to == from)
                     continue;
-                std::vector<double> candidate = best;
+                candidate = best;
                 candidate[from] -= cfg.step;
                 candidate[to] += cfg.step;
                 const double value = evaluate(candidate);

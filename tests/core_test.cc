@@ -15,8 +15,10 @@
 #include "core/global_optimizer.hh"
 #include "core/heterogeneity.hh"
 #include "core/local_optimizer.hh"
+#include "core/predictor.hh"
 #include "core/throttle.hh"
 #include "core/wanify.hh"
+#include "monitor/features.hh"
 #include "net/network_sim.hh"
 #include "net/vm.hh"
 
@@ -447,6 +449,109 @@ TEST(Heterogeneity, ChunkConnectionsSplitsPlans)
     EXPECT_EQ(perWorker[1].at(0, 1), 3);
     EXPECT_EQ(perWorker[0].at(1, 0), 6);
     EXPECT_EQ(perWorker[1].at(1, 0), 0); // DC 1 has no second worker
+}
+
+// ---- runtime BW predictor ---------------------------------------------------------------
+
+namespace {
+
+/** Deterministic synthetic Table 3 training set (golden fixture). */
+ml::Dataset
+goldenTrainingData()
+{
+    Rng rng(20250731);
+    ml::Dataset data(monitor::kFeatureCount, 1);
+    for (int s = 0; s < 400; ++s) {
+        const double n = 2.0 + rng.uniformInt(0, 6);
+        const double snap = rng.uniform(20.0, 2000.0);
+        const double mem = rng.uniform(0.1, 0.9);
+        const double cpu = rng.uniform(0.1, 0.9);
+        const double retrans = rng.uniform(0.0, 0.5);
+        const double dist = rng.uniform(100.0, 11000.0);
+        const double target = snap * (1.1 - 0.3 * retrans) -
+                              0.01 * dist + 40.0 * mem +
+                              rng.normal(0.0, 25.0);
+        data.add({n, snap, mem, cpu, retrans, dist}, target);
+    }
+    return data;
+}
+
+/** The golden fixture's predictor and snapshot mesh. */
+std::pair<RuntimeBwPredictor, BwMatrix>
+goldenFixture()
+{
+    ml::ForestConfig cfg;
+    cfg.nEstimators = 25;
+    RuntimeBwPredictor predictor(cfg);
+    predictor.train(goldenTrainingData(), 77);
+
+    BwMatrix snapshot = BwMatrix::square(4, 0.0);
+    Rng snapRng(99);
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 4; ++j)
+            snapshot.at(i, j) =
+                i == j ? 5800.0 : snapRng.uniform(50.0, 1500.0);
+    return {std::move(predictor), std::move(snapshot)};
+}
+
+} // namespace
+
+TEST(RuntimeBwPredictor, PredictMatrixMatchesPrePrGoldenMatrix)
+{
+    // Golden values captured from the pre-CompiledForest per-pair
+    // reference path (see CHANGES.md): the batched compiled path must
+    // reproduce them bit for bit.
+    const double kGolden[4][4] = {
+        {5800.0, 544.52859933535603, 868.59469093581788,
+         561.2524390317808},
+        {1260.1596299287344, 5800.0, 1238.0036475617221,
+         308.33605793846647},
+        {413.34217807457389, 57.589963821803032, 5800.0,
+         1268.885068807743},
+        {879.52877075997878, 1144.9202077429572, 256.69648202678104,
+         5800.0},
+    };
+
+    const auto topo = net::TopologyBuilder::paperTestbed(
+        4, net::VmTypeCatalog::t3nano());
+    const auto [predictor, snapshot] = goldenFixture();
+    const auto predicted = predictor.predictMatrix(topo, snapshot);
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 4; ++j)
+            EXPECT_EQ(predicted.at(i, j), kGolden[i][j])
+                << "pair (" << i << ", " << j << ")";
+}
+
+TEST(RuntimeBwPredictor, BatchedMatrixMatchesPerPairReference)
+{
+    // The batched single-predictBatch path must be bit-identical to
+    // predicting each pair individually through the interpreted
+    // ensemble (the pre-PR code shape).
+    const auto topo = net::TopologyBuilder::paperTestbed(
+        4, net::VmTypeCatalog::t3nano());
+    const auto [predictor, snapshot] = goldenFixture();
+    const auto predicted = predictor.predictMatrix(topo, snapshot);
+
+    const monitor::HostLoad load;
+    for (net::DcId i = 0; i < 4; ++i) {
+        for (net::DcId j = 0; j < 4; ++j) {
+            if (i == j) {
+                EXPECT_EQ(predicted.at(i, j), snapshot.at(i, j));
+                continue;
+            }
+            const double cap = topo.connCap(i, j);
+            const double retrans = std::max(
+                0.0,
+                1.0 - snapshot.at(i, j) / std::max(cap, 1.0));
+            const auto features = monitor::pairFeatures(
+                topo, snapshot, i, j, load, retrans);
+            const double reference = std::max(
+                0.0, predictor.forest().predict(features)[0]);
+            EXPECT_EQ(predicted.at(i, j), reference);
+            EXPECT_EQ(predicted.at(i, j),
+                      predictor.predictPair(features));
+        }
+    }
 }
 
 // ---- facade ---------------------------------------------------------------------------

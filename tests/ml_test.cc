@@ -10,6 +10,7 @@
 #include <cmath>
 
 #include "common/error.hh"
+#include "ml/compiled_forest.hh"
 #include "ml/dataset.hh"
 #include "ml/decision_tree.hh"
 #include "ml/metrics.hh"
@@ -298,6 +299,150 @@ TEST(RandomForest, DeterministicForSameSeed)
     for (double x : {1.0, 5.0, 9.0})
         EXPECT_DOUBLE_EQ(a.predictScalar({x, 0.0}),
                          b.predictScalar({x, 0.0}));
+}
+
+// ---- compiled forest -----------------------------------------------------------
+
+namespace {
+
+/** Random feature rows matching linearData's 2-feature shape. */
+std::vector<double>
+randomRows(std::size_t rows, std::size_t features, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> X(rows * features);
+    for (auto &v : X)
+        v = rng.uniform(-2.0, 12.0);
+    return X;
+}
+
+} // namespace
+
+TEST(CompiledForest, BitIdenticalToReferenceOnRandomInputs)
+{
+    ForestConfig cfg;
+    cfg.nEstimators = 40;
+    RandomForestRegressor forest(cfg);
+    forest.fit(linearData(400, 80), 81);
+
+    const CompiledForest &compiled = forest.compiled();
+    EXPECT_EQ(compiled.treeCount(), forest.treeCount());
+    EXPECT_EQ(compiled.featureCount(), 2u);
+    EXPECT_EQ(compiled.outputCount(), 1u);
+
+    Rng rng(82);
+    for (int i = 0; i < 200; ++i) {
+        const std::vector<double> x = {rng.uniform(-5.0, 15.0),
+                                       rng.uniform(-5.0, 15.0)};
+        const auto ref = forest.predict(x);
+        double out = 0.0;
+        compiled.predictInto(x.data(), &out);
+        // Exact equality: the compiled walk must be bit-identical to
+        // the interpreted ensemble, not merely close.
+        EXPECT_EQ(out, ref[0]);
+    }
+}
+
+TEST(CompiledForest, InvalidatedAndRebuiltAfterWarmStartRegrow)
+{
+    ForestConfig cfg;
+    cfg.nEstimators = 12;
+    RandomForestRegressor forest(cfg);
+    auto data = linearData(250, 83);
+    forest.fit(data, 84);
+    EXPECT_EQ(forest.compiled().treeCount(), 12u);
+
+    data.append(linearData(100, 85));
+    forest.warmStart(data, 6, 86);
+    // The compiled snapshot must track the regrown ensemble, not the
+    // stale 12-tree one.
+    const CompiledForest &compiled = forest.compiled();
+    ASSERT_EQ(compiled.treeCount(), 18u);
+
+    Rng rng(87);
+    for (int i = 0; i < 100; ++i) {
+        const std::vector<double> x = {rng.uniform(0.0, 10.0),
+                                       rng.uniform(0.0, 10.0)};
+        double out = 0.0;
+        compiled.predictInto(x.data(), &out);
+        EXPECT_EQ(out, forest.predict(x)[0]);
+    }
+}
+
+TEST(CompiledForest, MultiOutputLeavesMatchReference)
+{
+    Dataset data(1, 2);
+    Rng gen(88);
+    for (int i = 0; i < 300; ++i) {
+        const double x = gen.uniform(0.0, 10.0);
+        data.add({x}, {x, 2.0 * x + gen.normal(0.0, 0.1)});
+    }
+    ForestConfig cfg;
+    cfg.nEstimators = 20;
+    RandomForestRegressor forest(cfg);
+    forest.fit(data, 89);
+
+    const CompiledForest &compiled = forest.compiled();
+    ASSERT_EQ(compiled.outputCount(), 2u);
+    Rng rng(90);
+    for (int i = 0; i < 100; ++i) {
+        const std::vector<double> x = {rng.uniform(0.0, 10.0)};
+        const auto ref = forest.predict(x);
+        double out[2] = {0.0, 0.0};
+        compiled.predictInto(x.data(), out);
+        EXPECT_EQ(out[0], ref[0]);
+        EXPECT_EQ(out[1], ref[1]);
+    }
+}
+
+TEST(CompiledForest, PredictBatchSequentialParallelBitIdentical)
+{
+    ForestConfig cfg;
+    cfg.nEstimators = 25;
+    RandomForestRegressor forest(cfg);
+    forest.fit(linearData(400, 91), 92);
+    const CompiledForest &compiled = forest.compiled();
+
+    // Enough rows to span many chunks on a multi-core pool.
+    const std::size_t rows = 513;
+    const auto X = randomRows(rows, 2, 93);
+    std::vector<double> seq(rows, -1.0), par(rows, -2.0);
+    compiled.predictBatch(X.data(), rows, seq.data(),
+                          /*parallel=*/false);
+    compiled.predictBatch(X.data(), rows, par.data(),
+                          /*parallel=*/true);
+    for (std::size_t r = 0; r < rows; ++r) {
+        EXPECT_EQ(seq[r], par[r]);
+        // And each batch row matches the single-row walk.
+        double one = 0.0;
+        compiled.predictInto(X.data() + 2 * r, &one);
+        EXPECT_EQ(one, seq[r]);
+    }
+}
+
+TEST(CompiledForest, CopiedForestSharesCompiledSnapshot)
+{
+    ForestConfig cfg;
+    cfg.nEstimators = 8;
+    RandomForestRegressor forest(cfg);
+    forest.fit(linearData(150, 94), 95);
+
+    const RandomForestRegressor copy = forest;
+    const std::vector<double> x = {4.0, 2.0};
+    EXPECT_EQ(copy.compiled().treeCount(), 8u);
+    double a = 0.0, b = 0.0;
+    forest.compiled().predictInto(x.data(), &a);
+    copy.compiled().predictInto(x.data(), &b);
+    EXPECT_EQ(a, b);
+}
+
+TEST(CompiledForest, EmptyForestPredictPanics)
+{
+    const CompiledForest compiled;
+    EXPECT_TRUE(compiled.empty());
+    double x = 1.0, y = 0.0;
+    EXPECT_THROW(compiled.predictInto(&x, &y), PanicError);
+    EXPECT_THROW(compiled.predictBatch(&x, 1, &y), PanicError);
 }
 
 // ---- metrics -------------------------------------------------------------------
