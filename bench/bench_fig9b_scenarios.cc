@@ -87,7 +87,7 @@ main()
         "drift)");
     table.setHeader({"Scenario", "System", "Latency (s)", "Cost ($)",
                      "Min BW (Mbps)", "Drift err", "Retrains",
-                     "Pre err", "Post err"});
+                     "Pre err", "Post err", "Retrain CPU (ms)"});
 
     bool learned = true;
     std::size_t retrainingScenarios = 0;
@@ -117,7 +117,10 @@ main()
                  retrained ? Table::num(a.meanPreRetrainError, 0)
                            : std::string("-"),
                  retrained ? Table::num(a.meanPostRetrainError, 0)
-                           : std::string("-")});
+                           : std::string("-"),
+                 retrained
+                     ? Table::num(a.meanRetrainSeconds * 1.0e3, 0)
+                     : std::string("-")});
         };
         row("static-4", baseline);
         row("WANify-TC", adaptive);
@@ -127,7 +130,9 @@ main()
                 "stats only exist where WANify is deployed; pre/post "
                 "err = mean abs BW prediction error (Mbps) before vs "
                 "after each warm-start retrain (post gauged "
-                "out-of-sample).\n",
+                "out-of-sample); retrain CPU = mean wall time per "
+                "warm start (real re-planning stall, presorted "
+                "trainer).\n",
                 kTrials,
                 static_cast<unsigned long long>(kScenarioSeed));
     std::printf("online learning check (%zu retraining scenarios): "

@@ -17,9 +17,12 @@
  *
  * Results are printed as a table and emitted machine-readable to
  * BENCH_inference.json (override with --out) so CI can archive a
- * perf trajectory. --smoke shrinks iteration counts for CI; parity
- * (batched output bit-identical to the legacy per-pair loop) is
- * enforced in every mode and fails the process on mismatch.
+ * perf trajectory. CI runs the full mode (its gates are relative —
+ * parity and same-machine speedup floors — so they hold on slow
+ * runners); --smoke shrinks iteration counts for quick local
+ * iteration and gates on parity only. Parity (batched output
+ * bit-identical to the legacy per-pair loop) is enforced in every
+ * mode and fails the process on mismatch.
  */
 
 #include <algorithm>
@@ -114,39 +117,6 @@ legacyPredictMatrix(const core::RuntimeBwPredictor &predictor,
         }
     }
     return predicted;
-}
-
-struct JsonResult
-{
-    std::string name;
-    double value;
-};
-
-void
-writeJson(const std::string &path, bool smoke,
-          const core::RuntimeBwPredictor &predictor,
-          const std::vector<JsonResult> &results)
-{
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
-        std::fprintf(stderr, "cannot write %s\n", path.c_str());
-        std::exit(1);
-    }
-    std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"bench\": \"inference\",\n");
-    std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
-    std::fprintf(f, "  \"trees\": %zu,\n",
-                 predictor.forest().treeCount());
-    std::fprintf(f, "  \"feature_count\": %zu,\n",
-                 monitor::kFeatureCount);
-    std::fprintf(f, "  \"parity\": \"bit-identical\",\n");
-    std::fprintf(f, "  \"results\": {\n");
-    for (std::size_t i = 0; i < results.size(); ++i)
-        std::fprintf(f, "    \"%s\": %.3f%s\n",
-                     results[i].name.c_str(), results[i].value,
-                     i + 1 < results.size() ? "," : "");
-    std::fprintf(f, "  }\n}\n");
-    std::fclose(f);
 }
 
 } // namespace
@@ -287,28 +257,57 @@ main(int argc, char **argv)
     table.print();
     std::printf("parity: batched predictMatrix bit-identical to the "
                 "legacy per-pair loop\n");
+    const std::size_t poolThreads = ThreadPool::global().threadCount();
+    if (poolThreads == 1) {
+        std::printf("pool: 1 thread — predictBatch falls back to the "
+                    "sequential range by construction, so the pool "
+                    "speedup is ~1.0 and not gated here\n");
+    }
 
-    writeJson(outPath, smoke, predictor,
-              {{"predict_pair_legacy_ns", pairLegacyNs},
-               {"predict_pair_compiled_ns", pairCompiledNs},
-               {"predict_matrix8_legacy_ns", matrixLegacyNs},
-               {"predict_matrix8_batched_ns", matrixBatchedNs},
-               {"predict_batch_seq_ns", batchSeqNs},
-               {"predict_batch_parallel_ns", batchParNs},
-               {"speedup_predict_pair", pairSpeedup},
-               {"speedup_predict_matrix8", matrixSpeedup},
-               {"speedup_predict_batch_pool", batchSpeedup}});
+    bench::writeBenchJson(
+        outPath,
+        {bench::BenchJsonField::text("bench", "inference"),
+         bench::BenchJsonField::boolean("smoke", smoke),
+         bench::BenchJsonField::num("trees",
+                                    predictor.forest().treeCount()),
+         bench::BenchJsonField::num("pool_threads", poolThreads),
+         bench::BenchJsonField::num("feature_count",
+                                    monitor::kFeatureCount),
+         bench::BenchJsonField::text("parity", "bit-identical")},
+        {{"predict_pair_legacy_ns", pairLegacyNs},
+         {"predict_pair_compiled_ns", pairCompiledNs},
+         {"predict_matrix8_legacy_ns", matrixLegacyNs},
+         {"predict_matrix8_batched_ns", matrixBatchedNs},
+         {"predict_batch_seq_ns", batchSeqNs},
+         {"predict_batch_parallel_ns", batchParNs},
+         {"speedup_predict_pair", pairSpeedup},
+         {"speedup_predict_matrix8", matrixSpeedup},
+         {"speedup_predict_batch_pool", batchSpeedup}});
     std::printf("wrote %s\n", outPath.c_str());
 
-    // Smoke mode (CI) gates on parity only — shared runners are too
-    // noisy for a hard perf threshold. Full runs enforce a lenient
-    // floor well under the >= 10x this bench demonstrates on quiet
-    // machines, so a real regression still fails loudly.
+    // Smoke mode gates on parity only. Full runs (CI included)
+    // enforce a lenient same-machine floor well under the >= 10x
+    // this bench demonstrates on quiet machines, so a real
+    // regression still fails loudly.
     if (!smoke && matrixSpeedup < 4.0) {
         std::fprintf(stderr,
                      "predictMatrix speedup %.1fx below the 4x "
                      "regression floor\n",
                      matrixSpeedup);
+        return 1;
+    }
+    // Pool scaling is only assertable where a pool exists: with one
+    // thread both paths are the same code path. With several, the
+    // lane-aligned chunking must at least not *lose* to sequential —
+    // a deliberately loose floor, because on shared CI runners a
+    // noisy neighbor can eat the extra cores mid-measurement; the
+    // committed-baseline diff gate is what tracks scaling proper.
+    if (!smoke && poolThreads > 1 && batchSpeedup < 1.05) {
+        std::fprintf(stderr,
+                     "predictBatch parallel path slower than "
+                     "sequential (%.2fx on %zu threads): chunk "
+                     "fan-out is pure overhead\n",
+                     batchSpeedup, poolThreads);
         return 1;
     }
     return 0;

@@ -124,5 +124,35 @@ main()
                 "(%.1f us per pair, 100 trees) — negligible next to "
                 "the 1 s snapshot the probes already pay\n",
                 bestUs, bestUs / 56.0);
+
+    // Training CPU time: what the prediction side pays once per
+    // campaign (full fit) and per drift retrain (25-tree warm
+    // start), on a campaign-sized Table 3 dataset through the
+    // presorted exact engine — the compute half of the "one-time
+    // training" column above.
+    Rng trainRng(20250731);
+    ml::Dataset campaign = bench::campaignTable3Data(2400, 20250731);
+    const auto t0 = std::chrono::steady_clock::now();
+    core::RuntimeBwPredictor trained(
+        experiments::sharedForestConfig());
+    trained.train(campaign, 20250732);
+    const auto t1 = std::chrono::steady_clock::now();
+    auto grown = campaign;
+    for (int s = 0; s < 336; ++s) {
+        const std::size_t i =
+            static_cast<std::size_t>(trainRng.uniformInt(0, 2399));
+        grown.add(campaign.x(i), campaign.y(i)[0]);
+    }
+    const auto t2 = std::chrono::steady_clock::now();
+    trained.retrain(grown, 25, 20250733);
+    const auto t3 = std::chrono::steady_clock::now();
+    const double fitMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const double retrainMs =
+        std::chrono::duration<double, std::milli>(t3 - t2).count();
+    std::printf("training CPU time: %.0f ms per 2400-row campaign "
+                "fit (100 trees), %.0f ms per 25-tree warm-start "
+                "retrain — the mid-run re-planning stall\n",
+                fitMs, retrainMs);
     return 0;
 }

@@ -8,12 +8,17 @@
 #ifndef WANIFY_BENCH_BENCH_UTIL_HH
 #define WANIFY_BENCH_BENCH_UTIL_HH
 
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/table.hh"
 #include "common/thread_pool.hh"
 #include "core/wanify.hh"
+#include "monitor/features.hh"
 #include "experiments/predictor_factory.hh"
 #include "experiments/runner.hh"
 #include "experiments/testbed.hh"
@@ -94,18 +99,18 @@ predictedBwMatrix(const BenchContext &ctx, std::uint64_t seed = 31337)
 }
 
 /**
- * A predictor with the production forest shape (100 trees, depth 14)
- * trained on a deterministic synthetic Table 3 dataset — for inference
- * perf measurement, where the forest's shape matters but the analyzer
- * campaign's simulation cost does not.
+ * Campaign-shaped synthetic Table 3 dataset: discrete cluster size
+ * (heavy feature ties, as in real analyzer output) plus continuous
+ * snapshot/load/retrans/distance features. One definition shared by
+ * syntheticPredictor, the training perf bench, and the
+ * monitoring-cost bench so they all measure the same workload.
  */
-inline core::RuntimeBwPredictor
-syntheticPredictor(std::size_t nEstimators = 100,
-                   std::uint64_t seed = 20250731)
+inline ml::Dataset
+campaignTable3Data(std::size_t rows, std::uint64_t seed)
 {
     Rng rng(seed);
     ml::Dataset data(monitor::kFeatureCount, 1);
-    for (int s = 0; s < 1500; ++s) {
+    for (std::size_t s = 0; s < rows; ++s) {
         const double n = 2.0 + rng.uniformInt(0, 6);
         const double snap = rng.uniform(20.0, 2000.0);
         const double mem = rng.uniform(0.1, 0.9);
@@ -117,6 +122,20 @@ syntheticPredictor(std::size_t nEstimators = 100,
                               rng.normal(0.0, 25.0);
         data.add({n, snap, mem, cpu, retrans, dist}, target);
     }
+    return data;
+}
+
+/**
+ * A predictor with the production forest shape (100 trees, depth 14)
+ * trained on a deterministic synthetic Table 3 dataset — for inference
+ * perf measurement, where the forest's shape matters but the analyzer
+ * campaign's simulation cost does not.
+ */
+inline core::RuntimeBwPredictor
+syntheticPredictor(std::size_t nEstimators = 100,
+                   std::uint64_t seed = 20250731)
+{
+    const ml::Dataset data = campaignTable3Data(1500, seed);
     ml::ForestConfig cfg = experiments::sharedForestConfig();
     cfg.nEstimators = nEstimators;
     core::RuntimeBwPredictor predictor(cfg);
@@ -136,6 +155,61 @@ syntheticSnapshot(const net::Topology &topo, std::uint64_t seed = 99)
             snapshot.at(i, j) =
                 i == j ? 5800.0 : rng.uniform(50.0, 1500.0);
     return snapshot;
+}
+
+/**
+ * BENCH_*.json emission, single-sourced: tools/bench_diff.cc parses
+ * exactly this layout (flat top-level fields, then a flat "results"
+ * object of "key": number pairs), so every perf bench must emit
+ * through here — a format tweak in one place updates the producer
+ * side atomically and the parser is the only other party.
+ */
+struct BenchJsonField
+{
+    std::string name;
+
+    /** Pre-rendered JSON literal ("true", "42", "\"text\""). */
+    std::string value;
+
+    static BenchJsonField
+    num(const std::string &name, std::size_t v)
+    {
+        return {name, std::to_string(v)};
+    }
+    static BenchJsonField
+    boolean(const std::string &name, bool v)
+    {
+        return {name, v ? "true" : "false"};
+    }
+    static BenchJsonField
+    text(const std::string &name, const std::string &v)
+    {
+        return {name, "\"" + v + "\""};
+    }
+};
+
+inline void
+writeBenchJson(
+    const std::string &path,
+    const std::vector<BenchJsonField> &header,
+    const std::vector<std::pair<std::string, double>> &results)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        std::exit(1);
+    }
+    std::fprintf(f, "{\n");
+    for (const auto &field : header)
+        std::fprintf(f, "  \"%s\": %s,\n", field.name.c_str(),
+                     field.value.c_str());
+    std::fprintf(f, "  \"results\": {\n");
+    for (std::size_t i = 0; i < results.size(); ++i)
+        std::fprintf(f, "    \"%s\": %.3f%s\n",
+                     results[i].first.c_str(), results[i].second,
+                     i + 1 < results.size() ? "," : "");
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
 }
 
 /** Print one aggregate row: latency (s), cost ($), min BW (Mbps). */

@@ -128,19 +128,27 @@ Rng::split()
 std::vector<std::size_t>
 Rng::sampleWithoutReplacement(std::size_t n, std::size_t k)
 {
+    std::vector<std::size_t> idx;
+    sampleWithoutReplacementInto(n, k, idx);
+    return idx;
+}
+
+void
+Rng::sampleWithoutReplacementInto(std::size_t n, std::size_t k,
+                                  std::vector<std::size_t> &out)
+{
     panicIf(k > n, "sampleWithoutReplacement: k > n");
-    std::vector<std::size_t> idx(n);
+    out.resize(n);
     for (std::size_t i = 0; i < n; ++i)
-        idx[i] = i;
+        out[i] = i;
     // Partial Fisher–Yates: only the first k entries need to be final.
     for (std::size_t i = 0; i < k; ++i) {
         std::size_t j = static_cast<std::size_t>(
             uniformInt(static_cast<std::int64_t>(i),
                        static_cast<std::int64_t>(n) - 1));
-        std::swap(idx[i], idx[j]);
+        std::swap(out[i], out[j]);
     }
-    idx.resize(k);
-    return idx;
+    out.resize(k);
 }
 
 std::vector<std::size_t>

@@ -86,6 +86,15 @@ class Rng
     std::vector<std::size_t> sampleWithoutReplacement(std::size_t n,
                                                       std::size_t k);
 
+    /**
+     * Allocation-free variant: fills @p out (reusing its capacity)
+     * with k distinct indices from [0, n). Draws the same stream as
+     * sampleWithoutReplacement — hot loops (per-node feature bagging)
+     * can pool the buffer without changing any trained model.
+     */
+    void sampleWithoutReplacementInto(std::size_t n, std::size_t k,
+                                      std::vector<std::size_t> &out);
+
     /** Sample k indices from [0, n) with replacement (bootstrap). */
     std::vector<std::size_t> sampleWithReplacement(std::size_t n,
                                                    std::size_t k);

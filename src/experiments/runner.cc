@@ -37,6 +37,7 @@ aggregate(const std::vector<gda::QueryResult> &results)
     for (const auto &r : results) {
         agg.totalRetrainTriggers += r.retrainTriggers;
         agg.totalRetrainsApplied += r.retrainsApplied;
+        agg.totalRetrainSeconds += r.retrainCpuSeconds;
         if (r.retrainsApplied > 0) {
             ++agg.trialsRetrained;
             agg.meanPreRetrainError += r.preRetrainError;
@@ -47,6 +48,11 @@ aggregate(const std::vector<gda::QueryResult> &results)
         const auto k = static_cast<double>(agg.trialsRetrained);
         agg.meanPreRetrainError /= k;
         agg.meanPostRetrainError /= k;
+    }
+    if (agg.totalRetrainsApplied > 0) {
+        agg.meanRetrainSeconds =
+            agg.totalRetrainSeconds /
+            static_cast<double>(agg.totalRetrainsApplied);
     }
     return agg;
 }

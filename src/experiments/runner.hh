@@ -55,6 +55,14 @@ struct Aggregate
     double meanPreRetrainError = 0.0;
     double meanPostRetrainError = 0.0;
 
+    /**
+     * Mean wall-clock seconds per warm-start retrain (real compute
+     * stall inside Wanify::retrain, averaged over every retrain in
+     * every trial; 0 when none fired) and the summed stall.
+     */
+    double meanRetrainSeconds = 0.0;
+    double totalRetrainSeconds = 0.0;
+
     std::size_t trials = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "gda/engine.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <map>
 
@@ -354,10 +355,20 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
 
             // Warm-start retrain the pinned lineage; publishing
             // (opt-in) atomically swaps the facade's model for
-            // future runs.
+            // future runs. The wall time is real control-plane
+            // stall (the query waits to re-plan), reported per
+            // retrain so benches can show what adapting costs.
+            const auto retrainT0 =
+                std::chrono::steady_clock::now();
             model = opts.wanify->retrain(
                 *trainingRows, retrainSeed, model,
                 opts.publishRetrainedModel);
+            const double retrainSecs =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - retrainT0)
+                    .count();
+            result.retrainLatencies.push_back(retrainSecs);
+            result.retrainCpuSeconds += retrainSecs;
 
             // Gauge B: fresh snapshot + stable mesh, out-of-sample
             // for the new trees — the post-retrain error, and the

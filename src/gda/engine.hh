@@ -94,6 +94,18 @@ struct QueryResult
      */
     double postRetrainError = 0.0;
 
+    /**
+     * Wall-clock seconds each warm-start retrain spent inside
+     * Wanify::retrain (model copy + extra-tree growth + publish), in
+     * firing order. This is real compute stall, not simulated time:
+     * the query is stalled waiting to re-plan while the trees grow,
+     * so it bounds how often WANify can afford to adapt.
+     */
+    std::vector<double> retrainLatencies;
+
+    /** Sum of retrainLatencies (0 when no retrain fired). */
+    double retrainCpuSeconds = 0.0;
+
     std::vector<StageResult> stages;
     Matrix<Bytes> wanBytesByPair;
 };

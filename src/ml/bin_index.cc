@@ -1,0 +1,121 @@
+#include "ml/bin_index.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+
+namespace wanify {
+namespace ml {
+
+std::uint8_t
+BinIndex::codeValue(std::size_t feature, double value) const
+{
+    const auto &uppers = uppers_[feature];
+    // First bin whose inclusive upper edge admits the value;
+    // out-of-range values (only possible for rows appended after the
+    // edges were fixed) clamp to the last bin.
+    const auto it =
+        std::lower_bound(uppers.begin(), uppers.end(), value);
+    const std::size_t bin =
+        it == uppers.end()
+            ? uppers.size() - 1
+            : static_cast<std::size_t>(it - uppers.begin());
+    return static_cast<std::uint8_t>(bin);
+}
+
+std::shared_ptr<const BinIndex>
+BinIndex::build(const Dataset &data, std::size_t maxBins)
+{
+    fatalIf(data.empty(), "BinIndex::build: empty dataset");
+    fatalIf(maxBins < 2 || maxBins > kMaxBins,
+            "BinIndex::build: maxBins must be in [2, 256]");
+
+    const std::size_t n = data.size();
+    const std::size_t f = data.featureCount();
+    auto index = std::shared_ptr<BinIndex>(new BinIndex());
+    index->rows_ = n;
+    index->featureCount_ = f;
+    index->uppers_.resize(f);
+    index->thresholds_.resize(f);
+
+    std::vector<double> sorted(n);
+    for (std::size_t feat = 0; feat < f; ++feat) {
+        for (std::size_t i = 0; i < n; ++i)
+            sorted[i] = data.x(i)[feat];
+        std::sort(sorted.begin(), sorted.end());
+
+        // Candidate upper edges: every distinct value when they fit,
+        // otherwise the values at evenly spaced sample quantiles
+        // (duplicates collapse, so heavy value mass never splits a
+        // bin mid-value and codes stay order-consistent).
+        auto &uppers = index->uppers_[feat];
+        std::size_t distinct = 1;
+        for (std::size_t i = 1; i < n; ++i)
+            if (sorted[i] > sorted[i - 1])
+                ++distinct;
+        if (distinct <= maxBins) {
+            uppers.reserve(distinct);
+            uppers.push_back(sorted[0]);
+            for (std::size_t i = 1; i < n; ++i)
+                if (sorted[i] > sorted[i - 1])
+                    uppers.push_back(sorted[i]);
+        } else {
+            uppers.reserve(maxBins);
+            for (std::size_t b = 1; b <= maxBins; ++b) {
+                const std::size_t pos =
+                    std::min(n - 1, n * b / maxBins - 1);
+                const double v = sorted[pos];
+                if (uppers.empty() || v > uppers.back())
+                    uppers.push_back(v);
+            }
+            if (uppers.back() < sorted[n - 1])
+                uppers.push_back(sorted[n - 1]);
+        }
+
+        // Between-bin thresholds: midpoint between a bin's upper
+        // edge and the smallest training value above it, mirroring
+        // the exact splitter's between-neighbors convention.
+        auto &thresholds = index->thresholds_[feat];
+        thresholds.resize(uppers.size() > 0 ? uppers.size() - 1 : 0);
+        for (std::size_t b = 0; b + 1 < uppers.size(); ++b) {
+            const auto next = std::upper_bound(
+                sorted.begin(), sorted.end(), uppers[b]);
+            panicIf(next == sorted.end(),
+                    "BinIndex: bin edge beyond data range");
+            thresholds[b] = 0.5 * (uppers[b] + *next);
+        }
+    }
+
+    index->codes_.resize(n * f);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto &x = data.x(i);
+        for (std::size_t feat = 0; feat < f; ++feat)
+            index->codes_[i * f + feat] =
+                index->codeValue(feat, x[feat]);
+    }
+    return index;
+}
+
+std::shared_ptr<const BinIndex>
+BinIndex::extended(const Dataset &data) const
+{
+    fatalIf(data.featureCount() != featureCount_,
+            "BinIndex::extended: feature count mismatch");
+    fatalIf(data.size() < rows_,
+            "BinIndex::extended: dataset shrank below the binned "
+            "prefix (campaign datasets only append)");
+
+    auto next = std::shared_ptr<BinIndex>(new BinIndex(*this));
+    const std::size_t f = featureCount_;
+    next->codes_.resize(data.size() * f);
+    for (std::size_t i = rows_; i < data.size(); ++i) {
+        const auto &x = data.x(i);
+        for (std::size_t feat = 0; feat < f; ++feat)
+            next->codes_[i * f + feat] = codeValue(feat, x[feat]);
+    }
+    next->rows_ = data.size();
+    return next;
+}
+
+} // namespace ml
+} // namespace wanify

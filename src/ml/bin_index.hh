@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Feature quantization for histogram-mode tree training.
+ *
+ * A BinIndex maps every (sample, feature) value to one of at most 256
+ * bins chosen once per dataset, so histogram split finding scans
+ * O(bins) candidates per feature instead of O(samples). The index is
+ * immutable and shared across every tree of a forest fit; warm-start
+ * retraining extends it with the newly gauged rows against the
+ * original bin edges instead of re-binning the whole campaign dataset
+ * (the drift-retrain path re-plans while the query is stalled, so
+ * skipping the re-bin shortens the stall directly).
+ */
+
+#ifndef WANIFY_ML_BIN_INDEX_HH
+#define WANIFY_ML_BIN_INDEX_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ml/dataset.hh"
+
+namespace wanify {
+namespace ml {
+
+class BinIndex
+{
+  public:
+    /** Histogram codes are one byte; more bins would not fit. */
+    static constexpr std::size_t kMaxBins = 256;
+
+    /**
+     * Quantize @p data: per feature, at most @p maxBins bins. When a
+     * feature has few distinct values (cluster size N, discrete
+     * scenario regimes), every distinct value gets its own bin and
+     * the candidate thresholds are exactly the exact-mode midpoints;
+     * dense continuous features fall back to quantile edges.
+     */
+    static std::shared_ptr<const BinIndex>
+    build(const Dataset &data, std::size_t maxBins = kMaxBins);
+
+    /**
+     * The index extended to @p data, whose first rows() rows must be
+     * the rows this index was built from (campaign datasets only ever
+     * append). Bin edges are kept; only the new rows are coded, with
+     * out-of-range values clamped to the edge bins. Returns a new
+     * immutable index — the receiver is shared across predictor
+     * snapshots and is never mutated.
+     */
+    std::shared_ptr<const BinIndex> extended(const Dataset &data) const;
+
+    std::size_t rows() const { return rows_; }
+    std::size_t featureCount() const { return featureCount_; }
+
+    /** Bins actually used by @p feature (<= maxBins). */
+    std::size_t
+    binCount(std::size_t feature) const
+    {
+        return uppers_[feature].size();
+    }
+
+    /** Bin of sample @p row's @p feature value. */
+    std::uint8_t
+    code(std::size_t row, std::size_t feature) const
+    {
+        return codes_[row * featureCount_ + feature];
+    }
+
+    /**
+     * Split threshold between @p bin and @p bin + 1 of @p feature:
+     * the midpoint between the largest training value in the left
+     * bin group and the smallest in the right, so `x <= threshold`
+     * separates the bins exactly as the codes do.
+     */
+    double
+    threshold(std::size_t feature, std::size_t bin) const
+    {
+        return thresholds_[feature][bin];
+    }
+
+    /** Code an arbitrary value against @p feature's edges. */
+    std::uint8_t codeValue(std::size_t feature, double value) const;
+
+  private:
+    BinIndex() = default;
+
+    std::size_t rows_ = 0;
+    std::size_t featureCount_ = 0;
+
+    /** Row-major per-sample codes (rows_ x featureCount_). */
+    std::vector<std::uint8_t> codes_;
+
+    /** Per feature: inclusive upper value of each bin. */
+    std::vector<std::vector<double>> uppers_;
+
+    /** Per feature: threshold between bins b and b+1 (size B - 1). */
+    std::vector<std::vector<double>> thresholds_;
+};
+
+} // namespace ml
+} // namespace wanify
+
+#endif // WANIFY_ML_BIN_INDEX_HH

@@ -276,13 +276,22 @@ CompiledForest::predictBatch(const double *X, std::size_t rows,
 
     // Chunked fan-out: each chunk owns a fixed row range and each row
     // a fixed output slot, so scheduling cannot change the result.
-    // Chunks are sized for ~2 per pool thread (floored so tree-major
-    // blocking keeps amortizing node loads); a 1-thread pool skips
-    // the chunking and walks the whole batch in one range.
+    // Chunks are multiples of the 8-row lane block (only the final
+    // chunk may carry a sub-block tail, so no chunk boundary forces
+    // rows through the slow single-row finish), sized for ~4 per pool
+    // thread so an unlucky straggler costs a quarter-chunk of idle
+    // time rather than half, with a 64-row floor below which the
+    // tree-major walk stops amortizing its node loads. On a 1-thread
+    // pool (single-core runners: the committed BENCH_inference
+    // baseline's speedup_predict_batch_pool ~= 1.0 is exactly this
+    // case) the fan-out is skipped and the batch walks one range.
     ThreadPool &pool = ThreadPool::global();
     const std::size_t threads = pool.threadCount();
+    constexpr std::size_t kLaneBlock = 8;
+    const std::size_t perChunk =
+        (rows + 4 * threads - 1) / (4 * threads);
     const std::size_t chunk = std::max<std::size_t>(
-        16, (rows + 2 * threads - 1) / (2 * threads));
+        64, (perChunk + kLaneBlock - 1) / kLaneBlock * kLaneBlock);
     const std::size_t chunks = (rows + chunk - 1) / chunk;
     if (!parallel || threads == 1 || chunks < 2) {
         predictRange(X, 0, rows, Y);

@@ -5,9 +5,387 @@
 #include <functional>
 
 #include "common/error.hh"
+#include "ml/training_context.hh"
 
 namespace wanify {
 namespace ml {
+
+/**
+ * Grows one tree against a shared TrainingContext (exact or histogram
+ * mode). A node is a contiguous range [lo, hi) of the scratch arrays:
+ * `members` holds the node's samples in bootstrap-bag order (the
+ * canonical accumulation order for node sums and leaf means, matching
+ * the nodeSort reference's inherited order), and in exact mode
+ * `sorted` holds one bag ordering per feature — derived once per tree
+ * from the context's dataset argsort — partitioned alongside the
+ * members, so no node ever sorts anything.
+ */
+struct TreeGrower
+{
+    DecisionTreeRegressor &tree;
+    const TrainingContext &ctx;
+    TreeScratch &s;
+    Rng &rng;
+    std::size_t bagSize = 0;
+
+    using SplitResult = DecisionTreeRegressor::SplitResult;
+
+    void
+    grow(const std::vector<std::size_t> &bag)
+    {
+        bagSize = bag.size();
+        const std::size_t n = ctx.sampleCount();
+        s.members.resize(bagSize);
+        for (std::size_t i = 0; i < bagSize; ++i) {
+            fatalIf(bag[i] >= n,
+                    "DecisionTree: sample index out of range");
+            s.members[i] = static_cast<std::uint32_t>(bag[i]);
+        }
+
+        if (ctx.mode() == SplitMode::exact) {
+            // Per-feature bag orderings in the canonical (value,
+            // sample index) order, derived in O(n) per feature from
+            // the context's shared argsort: emit each dataset sample
+            // as many times as the bag drew it. Duplicates of one
+            // sample are interchangeable (identical feature and
+            // target values), so this order is FP-equivalent to
+            // stably sorting the bag itself.
+            s.bagCount.assign(n, 0);
+            for (std::uint32_t id : s.members)
+                ++s.bagCount[id];
+            const std::size_t f = ctx.featureCount();
+            s.sorted.resize(f * bagSize);
+            for (std::size_t feat = 0; feat < f; ++feat) {
+                const std::uint32_t *order = ctx.order(feat);
+                std::uint32_t *out = s.sorted.data() + feat * bagSize;
+                std::size_t w = 0;
+                for (std::size_t i = 0; i < n; ++i) {
+                    const std::uint32_t id = order[i];
+                    for (std::uint32_t c = s.bagCount[id]; c > 0; --c)
+                        out[w++] = id;
+                }
+                panicIf(w != bagSize,
+                        "DecisionTree: bag ordering size mismatch");
+            }
+        }
+
+        if (s.histDirty) {
+            // A previous scan unwound mid-flight (exception): restore
+            // the all-zero invariant before trusting the accumulators.
+            std::fill(s.histCount.begin(), s.histCount.end(), 0);
+            std::fill(s.histSum.begin(), s.histSum.end(), 0.0);
+            std::fill(s.histSumSq.begin(), s.histSumSq.end(), 0.0);
+            s.histDirty = false;
+        }
+
+        s.spill.resize(bagSize);
+        build(0, bagSize, 0);
+    }
+
+    /** Node sums over members (bag order) -> parent SSE. */
+    double
+    parentSums(std::size_t lo, std::size_t hi)
+    {
+        const std::size_t o = ctx.outputCount();
+        s.sum.assign(o, 0.0);
+        s.sumSq.assign(o, 0.0);
+        for (std::size_t pos = lo; pos < hi; ++pos) {
+            const double *y = ctx.y(s.members[pos]);
+            for (std::size_t k = 0; k < o; ++k) {
+                s.sum[k] += y[k];
+                s.sumSq[k] += y[k] * y[k];
+            }
+        }
+        double parentSse = 0.0;
+        const auto n = static_cast<double>(hi - lo);
+        for (std::size_t k = 0; k < o; ++k)
+            parentSse += s.sumSq[k] - s.sum[k] * s.sum[k] / n;
+        return parentSse;
+    }
+
+    /** Candidate features into s.features (same draws as nodeSort). */
+    void
+    candidateFeatures()
+    {
+        const std::size_t f = ctx.featureCount();
+        const std::size_t maxF = tree.config_.maxFeatures;
+        if (maxF == 0 || maxF >= f) {
+            s.features.resize(f);
+            for (std::size_t i = 0; i < f; ++i)
+                s.features[i] = i;
+        } else {
+            rng.sampleWithoutReplacementInto(f, maxF, s.features);
+        }
+    }
+
+    SplitResult
+    bestSplitExact(std::size_t lo, std::size_t hi)
+    {
+        SplitResult best;
+        const std::size_t n = hi - lo;
+        if (n < tree.config_.minSamplesSplit)
+            return best;
+        const std::size_t o = ctx.outputCount();
+
+        const double parentSse = parentSums(lo, hi);
+        if (parentSse <= 1.0e-12)
+            return best; // pure node
+
+        candidateFeatures();
+        s.leftSum.resize(o);
+        s.leftSumSq.resize(o);
+
+        for (std::size_t f : s.features) {
+            const std::uint32_t *ord =
+                s.sorted.data() + f * bagSize + lo;
+            std::fill(s.leftSum.begin(), s.leftSum.end(), 0.0);
+            std::fill(s.leftSumSq.begin(), s.leftSumSq.end(), 0.0);
+
+            for (std::size_t pos = 0; pos + 1 < n; ++pos) {
+                const std::uint32_t id = ord[pos];
+                const double *y = ctx.y(id);
+                for (std::size_t k = 0; k < o; ++k) {
+                    s.leftSum[k] += y[k];
+                    s.leftSumSq[k] += y[k] * y[k];
+                }
+                const double xHere = ctx.x(id, f);
+                const double xNext = ctx.x(ord[pos + 1], f);
+                if (xNext <= xHere)
+                    continue; // ties: no threshold between equals
+
+                const std::size_t nl = pos + 1;
+                const std::size_t nr = n - nl;
+                if (nl < tree.config_.minSamplesLeaf ||
+                    nr < tree.config_.minSamplesLeaf)
+                    continue;
+
+                double childSse = 0.0;
+                for (std::size_t k = 0; k < o; ++k) {
+                    const double rs = s.sum[k] - s.leftSum[k];
+                    const double rss = s.sumSq[k] - s.leftSumSq[k];
+                    childSse += s.leftSumSq[k] -
+                                s.leftSum[k] * s.leftSum[k] /
+                                    static_cast<double>(nl);
+                    childSse +=
+                        rss - rs * rs / static_cast<double>(nr);
+                }
+                const double gain = parentSse - childSse;
+                if (gain > best.gain + 1.0e-12) {
+                    best.found = true;
+                    best.feature = f;
+                    best.threshold = 0.5 * (xHere + xNext);
+                    best.gain = gain;
+                }
+            }
+        }
+        return best;
+    }
+
+    SplitResult
+    bestSplitHistogram(std::size_t lo, std::size_t hi)
+    {
+        SplitResult best;
+        const std::size_t n = hi - lo;
+        if (n < tree.config_.minSamplesSplit)
+            return best;
+        const std::size_t o = ctx.outputCount();
+
+        const double parentSse = parentSums(lo, hi);
+        if (parentSse <= 1.0e-12)
+            return best; // pure node
+
+        candidateFeatures();
+        s.leftSum.resize(o);
+        s.leftSumSq.resize(o);
+        const BinIndex &bins = *ctx.bins();
+
+        for (std::size_t f : s.features) {
+            const std::size_t B = bins.binCount(f);
+            if (B < 2)
+                continue; // constant feature
+
+            // Grow (never shrink) the accumulators; fresh entries are
+            // value-initialized to zero, matching the invariant.
+            if (s.histCount.size() < B)
+                s.histCount.resize(B, 0);
+            if (s.histSum.size() < B * o) {
+                s.histSum.resize(B * o, 0.0);
+                s.histSumSq.resize(B * o, 0.0);
+            }
+
+            // Track the touched bin range: deep nodes cover a narrow
+            // value band (splits are axis-aligned), so the scan and
+            // the cleanup below pay O(touched bins), not O(256).
+            std::size_t minB = B, maxB = 0;
+            s.histDirty = true;
+            for (std::size_t pos = lo; pos < hi; ++pos) {
+                const std::uint32_t id = s.members[pos];
+                const std::size_t b = bins.code(id, f);
+                ++s.histCount[b];
+                minB = std::min(minB, b);
+                maxB = std::max(maxB, b);
+                const double *y = ctx.y(id);
+                for (std::size_t k = 0; k < o; ++k) {
+                    s.histSum[b * o + k] += y[k];
+                    s.histSumSq[b * o + k] += y[k] * y[k];
+                }
+            }
+
+            if (maxB > minB) {
+                std::fill(s.leftSum.begin(), s.leftSum.end(), 0.0);
+                std::fill(s.leftSumSq.begin(), s.leftSumSq.end(),
+                          0.0);
+                std::size_t leftCount = 0;
+                // Splits at b >= maxB would leave the right side
+                // empty; bins below minB cannot move the sums.
+                for (std::size_t b = minB; b < maxB && b + 1 < B;
+                     ++b) {
+                    leftCount += s.histCount[b];
+                    for (std::size_t k = 0; k < o; ++k) {
+                        s.leftSum[k] += s.histSum[b * o + k];
+                        s.leftSumSq[k] += s.histSumSq[b * o + k];
+                    }
+                    const std::size_t nl = leftCount;
+                    const std::size_t nr = n - nl;
+                    if (nl < tree.config_.minSamplesLeaf ||
+                        nr < tree.config_.minSamplesLeaf)
+                        continue;
+
+                    double childSse = 0.0;
+                    for (std::size_t k = 0; k < o; ++k) {
+                        const double rs = s.sum[k] - s.leftSum[k];
+                        const double rss =
+                            s.sumSq[k] - s.leftSumSq[k];
+                        childSse += s.leftSumSq[k] -
+                                    s.leftSum[k] * s.leftSum[k] /
+                                        static_cast<double>(nl);
+                        childSse +=
+                            rss - rs * rs / static_cast<double>(nr);
+                    }
+                    const double gain = parentSse - childSse;
+                    if (gain > best.gain + 1.0e-12) {
+                        best.found = true;
+                        best.feature = f;
+                        // Predictions branch on the between-bin
+                        // midpoint; training partitions by code
+                        // (see SplitResult::bin).
+                        best.threshold = bins.threshold(f, b);
+                        best.gain = gain;
+                        best.bin = b;
+                    }
+                }
+            }
+
+            // Restore the all-zero invariant over the touched range.
+            const auto clearLo =
+                static_cast<std::ptrdiff_t>(minB * o);
+            const auto clearHi =
+                static_cast<std::ptrdiff_t>((maxB + 1) * o);
+            std::fill(s.histCount.begin() +
+                          static_cast<std::ptrdiff_t>(minB),
+                      s.histCount.begin() +
+                          static_cast<std::ptrdiff_t>(maxB + 1),
+                      0u);
+            std::fill(s.histSum.begin() + clearLo,
+                      s.histSum.begin() + clearHi, 0.0);
+            std::fill(s.histSumSq.begin() + clearLo,
+                      s.histSumSq.begin() + clearHi, 0.0);
+            s.histDirty = false;
+        }
+        return best;
+    }
+
+    /**
+     * Stable in-place partition of [lo, hi) of @p arr by the split
+     * predicate — feature value vs threshold in exact mode, bin code
+     * in histogram mode (whose gains were computed from codes) —
+     * via the spill buffer; returns the left-side count.
+     */
+    std::size_t
+    partitionRange(std::uint32_t *arr, std::size_t lo, std::size_t hi,
+                   const SplitResult &split)
+    {
+        const bool byCode = ctx.mode() == SplitMode::histogram;
+        const BinIndex *bins = ctx.bins();
+        std::size_t w = lo, spilled = 0;
+        for (std::size_t pos = lo; pos < hi; ++pos) {
+            const std::uint32_t id = arr[pos];
+            const bool left =
+                byCode ? bins->code(id, split.feature) <= split.bin
+                       : ctx.x(id, split.feature) <= split.threshold;
+            if (left)
+                arr[w++] = id;
+            else
+                s.spill[spilled++] = id;
+        }
+        std::copy(s.spill.begin(),
+                  s.spill.begin() + static_cast<std::ptrdiff_t>(spilled),
+                  arr + w);
+        return w - lo;
+    }
+
+    void
+    makeLeaf(std::size_t nodeIdx, std::size_t lo, std::size_t hi)
+    {
+        const std::size_t o = ctx.outputCount();
+        std::vector<double> mean(o, 0.0);
+        for (std::size_t pos = lo; pos < hi; ++pos) {
+            const double *y = ctx.y(s.members[pos]);
+            for (std::size_t k = 0; k < o; ++k)
+                mean[k] += y[k];
+        }
+        const auto n = static_cast<double>(hi - lo);
+        for (auto &m : mean)
+            m /= n;
+        tree.nodes_[nodeIdx].leafValue = std::move(mean);
+    }
+
+    int
+    build(std::size_t lo, std::size_t hi, std::size_t depth)
+    {
+        const int nodeIdx = static_cast<int>(tree.nodes_.size());
+        tree.nodes_.emplace_back();
+
+        SplitResult split;
+        if (depth < tree.config_.maxDepth) {
+            split = ctx.mode() == SplitMode::exact
+                        ? bestSplitExact(lo, hi)
+                        : bestSplitHistogram(lo, hi);
+        }
+
+        if (!split.found) {
+            makeLeaf(static_cast<std::size_t>(nodeIdx), lo, hi);
+            return nodeIdx;
+        }
+
+        tree.featureGains_[split.feature] += split.gain;
+
+        const std::size_t nl =
+            partitionRange(s.members.data(), lo, hi, split);
+        panicIf(nl == 0 || nl == hi - lo,
+                "DecisionTree: degenerate split");
+        if (ctx.mode() == SplitMode::exact) {
+            // Every per-feature ordering partitions by the same
+            // predicate, so children keep one shared [lo, hi) range
+            // and stay sorted (stable partition preserves order).
+            for (std::size_t f = 0; f < ctx.featureCount(); ++f) {
+                const std::size_t got = partitionRange(
+                    s.sorted.data() + f * bagSize, lo, hi, split);
+                panicIf(got != nl,
+                        "DecisionTree: inconsistent partition");
+            }
+        }
+
+        auto &node = tree.nodes_[static_cast<std::size_t>(nodeIdx)];
+        node.feature = static_cast<int>(split.feature);
+        node.threshold = split.threshold;
+        const int left = build(lo, lo + nl, depth + 1);
+        const int right = build(lo + nl, hi, depth + 1);
+        tree.nodes_[static_cast<std::size_t>(nodeIdx)].left = left;
+        tree.nodes_[static_cast<std::size_t>(nodeIdx)].right = right;
+        return nodeIdx;
+    }
+};
 
 DecisionTreeRegressor::DecisionTreeRegressor(TreeConfig config)
     : config_(config)
@@ -30,13 +408,43 @@ DecisionTreeRegressor::fit(const Dataset &data,
     fatalIf(data.empty(), "DecisionTreeRegressor::fit: empty dataset");
     fatalIf(sampleIndices.empty(),
             "DecisionTreeRegressor::fit: no sample indices");
-    featureCount_ = data.featureCount();
-    outputCount_ = data.outputCount();
+
+    if (config_.splitMode == SplitMode::nodeSort) {
+        featureCount_ = data.featureCount();
+        outputCount_ = data.outputCount();
+        nodes_.clear();
+        featureGains_.assign(featureCount_, 0.0);
+        std::vector<std::size_t> indices = sampleIndices;
+        buildNodeSort(data, indices, 0, rng);
+        return;
+    }
+
+    // Standalone fit: build a private context. Forests build one
+    // shared context per grow batch and use the overload directly.
+    const TrainingContext ctx(
+        data, config_.splitMode,
+        config_.splitMode == SplitMode::histogram
+            ? BinIndex::build(data)
+            : nullptr);
+    fit(ctx, sampleIndices, rng);
+}
+
+void
+DecisionTreeRegressor::fit(const TrainingContext &ctx,
+                           const std::vector<std::size_t> &sampleIndices,
+                           Rng &rng)
+{
+    fatalIf(sampleIndices.empty(),
+            "DecisionTreeRegressor::fit: no sample indices");
+    fatalIf(ctx.mode() != config_.splitMode,
+            "DecisionTreeRegressor::fit: context mode mismatch");
+    featureCount_ = ctx.featureCount();
+    outputCount_ = ctx.outputCount();
     nodes_.clear();
     featureGains_.assign(featureCount_, 0.0);
 
-    std::vector<std::size_t> indices = sampleIndices;
-    build(data, indices, 0, rng);
+    TreeGrower grower{*this, ctx, threadScratch(), rng, 0};
+    grower.grow(sampleIndices);
 }
 
 std::vector<double>
@@ -55,9 +463,9 @@ DecisionTreeRegressor::meanTarget(
 }
 
 DecisionTreeRegressor::SplitResult
-DecisionTreeRegressor::bestSplit(const Dataset &data,
-                                 const std::vector<std::size_t> &indices,
-                                 Rng &rng) const
+DecisionTreeRegressor::bestSplitNodeSort(
+    const Dataset &data, const std::vector<std::size_t> &indices,
+    Rng &rng) const
 {
     SplitResult best;
     const std::size_t n = indices.size();
@@ -99,9 +507,15 @@ DecisionTreeRegressor::bestSplit(const Dataset &data,
     std::vector<double> leftSumSq(outputCount_);
 
     for (std::size_t f : features) {
+        // Canonical order: feature value, ties by sample index —
+        // the same total order the presorted exact engine inherits
+        // from the dataset argsort, so the two engines accumulate
+        // identical floating-point sums.
         std::sort(sorted.begin(), sorted.end(),
                   [&](std::size_t a, std::size_t b) {
-                      return data.x(a)[f] < data.x(b)[f];
+                      const double xa = data.x(a)[f];
+                      const double xb = data.x(b)[f];
+                      return xa < xb || (xa == xb && a < b);
                   });
         std::fill(leftSum.begin(), leftSum.end(), 0.0);
         std::fill(leftSumSq.begin(), leftSumSq.end(), 0.0);
@@ -146,16 +560,16 @@ DecisionTreeRegressor::bestSplit(const Dataset &data,
 }
 
 int
-DecisionTreeRegressor::build(const Dataset &data,
-                             std::vector<std::size_t> &indices,
-                             std::size_t depth, Rng &rng)
+DecisionTreeRegressor::buildNodeSort(const Dataset &data,
+                                     std::vector<std::size_t> &indices,
+                                     std::size_t depth, Rng &rng)
 {
     const int nodeIdx = static_cast<int>(nodes_.size());
     nodes_.emplace_back();
 
     SplitResult split;
     if (depth < config_.maxDepth)
-        split = bestSplit(data, indices, rng);
+        split = bestSplitNodeSort(data, indices, rng);
 
     if (!split.found) {
         nodes_[nodeIdx].leafValue = meanTarget(data, indices);
@@ -181,8 +595,8 @@ DecisionTreeRegressor::build(const Dataset &data,
 
     nodes_[nodeIdx].feature = static_cast<int>(split.feature);
     nodes_[nodeIdx].threshold = split.threshold;
-    nodes_[nodeIdx].left = build(data, left, depth + 1, rng);
-    nodes_[nodeIdx].right = build(data, right, depth + 1, rng);
+    nodes_[nodeIdx].left = buildNodeSort(data, left, depth + 1, rng);
+    nodes_[nodeIdx].right = buildNodeSort(data, right, depth + 1, rng);
     return nodeIdx;
 }
 

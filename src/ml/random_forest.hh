@@ -19,6 +19,7 @@
 #include <mutex>
 #include <vector>
 
+#include "ml/bin_index.hh"
 #include "ml/compiled_forest.hh"
 #include "ml/decision_tree.hh"
 
@@ -114,6 +115,18 @@ class RandomForestRegressor
      */
     double oobR2() const { return oobR2_; }
 
+    /**
+     * Histogram mode's shared feature quantization: built once per
+     * fit() dataset, shared immutably across all trees and forest
+     * copies, and *extended* (never rebuilt) by warmStart() when the
+     * training set has only grown — so drift retrains skip re-binning
+     * the whole campaign. Null in exact/nodeSort modes.
+     */
+    const std::shared_ptr<const BinIndex> &binIndex() const
+    {
+        return bins_;
+    }
+
     /** Normalized impurity feature importances (sums to 1). */
     std::vector<double> featureImportances() const;
 
@@ -130,6 +143,9 @@ class RandomForestRegressor
     std::vector<DecisionTreeRegressor> trees_;
     std::size_t featureCount_ = 0;
     double oobR2_ = 0.0;
+
+    /** Shared quantization (histogram mode only); immutable. */
+    std::shared_ptr<const BinIndex> bins_;
 
     /**
      * Lazily built compiled snapshot, guarded by compiledMu_. Shared

@@ -1,0 +1,69 @@
+#include "ml/training_context.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hh"
+
+namespace wanify {
+namespace ml {
+
+TrainingContext::TrainingContext(const Dataset &data, SplitMode mode,
+                                 std::shared_ptr<const BinIndex> bins)
+    : mode_(mode),
+      sampleCount_(data.size()),
+      featureCount_(data.featureCount()),
+      outputCount_(data.outputCount()),
+      bins_(std::move(bins))
+{
+    fatalIf(data.empty(), "TrainingContext: empty dataset");
+    fatalIf(sampleCount_ >=
+                std::numeric_limits<std::uint32_t>::max(),
+            "TrainingContext: dataset too large for 32-bit indices");
+    fatalIf(mode_ == SplitMode::histogram &&
+                (bins_ == nullptr ||
+                 bins_->featureCount() != featureCount_ ||
+                 bins_->rows() < sampleCount_),
+            "TrainingContext: histogram mode needs a BinIndex "
+            "covering the dataset");
+
+    features_.resize(sampleCount_ * featureCount_);
+    targets_.resize(sampleCount_ * outputCount_);
+    for (std::size_t i = 0; i < sampleCount_; ++i) {
+        const auto &x = data.x(i);
+        const auto &y = data.y(i);
+        for (std::size_t f = 0; f < featureCount_; ++f)
+            features_[f * sampleCount_ + i] = x[f];
+        for (std::size_t k = 0; k < outputCount_; ++k)
+            targets_[i * outputCount_ + k] = y[k];
+    }
+
+    if (mode_ != SplitMode::exact)
+        return;
+
+    // One argsort per feature, ties broken by sample index — the
+    // canonical order every split engine agrees on. Trees derive
+    // their bootstrap-bag orderings from these in O(n).
+    order_.resize(featureCount_ * sampleCount_);
+    for (std::size_t f = 0; f < featureCount_; ++f) {
+        std::uint32_t *order = order_.data() + f * sampleCount_;
+        for (std::size_t i = 0; i < sampleCount_; ++i)
+            order[i] = static_cast<std::uint32_t>(i);
+        const double *col = features_.data() + f * sampleCount_;
+        std::sort(order, order + sampleCount_,
+                  [col](std::uint32_t a, std::uint32_t b) {
+                      return col[a] < col[b] ||
+                             (col[a] == col[b] && a < b);
+                  });
+    }
+}
+
+TreeScratch &
+threadScratch()
+{
+    thread_local TreeScratch scratch;
+    return scratch;
+}
+
+} // namespace ml
+} // namespace wanify

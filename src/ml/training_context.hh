@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Shared per-fit state for fast tree training.
+ *
+ * The legacy splitter re-sorted the node's whole index set for every
+ * candidate feature at every node — O(nodes * features * n log n) —
+ * and chased the Dataset's row-major vector-of-vectors for each read.
+ * A TrainingContext is built once per fit and shared (immutably)
+ * across every tree of the forest: it columnizes the features,
+ * flattens the targets, and precomputes one argsort per feature
+ * (exact mode) or carries the dataset's BinIndex (histogram mode).
+ * Trees then derive their bootstrap-bag orderings from the shared
+ * argsort in O(n) and partition them down the tree instead of
+ * re-sorting per node.
+ *
+ * TreeScratch holds every per-node buffer a grower needs (index
+ * arrays, running sums, histograms, candidate-feature lists), pooled
+ * per thread and reused across nodes, trees, and fits, so steady-state
+ * training allocates nothing per node.
+ */
+
+#ifndef WANIFY_ML_TRAINING_CONTEXT_HH
+#define WANIFY_ML_TRAINING_CONTEXT_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ml/bin_index.hh"
+#include "ml/dataset.hh"
+#include "ml/decision_tree.hh"
+
+namespace wanify {
+namespace ml {
+
+class TrainingContext
+{
+  public:
+    /**
+     * Columnize @p data for @p mode. @p bins is required for
+     * histogram mode (built against this dataset or an extension of
+     * the dataset it was built from) and ignored otherwise. The
+     * context only reads @p data during construction.
+     */
+    TrainingContext(const Dataset &data, SplitMode mode,
+                    std::shared_ptr<const BinIndex> bins = nullptr);
+
+    SplitMode mode() const { return mode_; }
+    std::size_t sampleCount() const { return sampleCount_; }
+    std::size_t featureCount() const { return featureCount_; }
+    std::size_t outputCount() const { return outputCount_; }
+
+    /** Feature @p f of sample @p i (column-major storage). */
+    double
+    x(std::size_t i, std::size_t f) const
+    {
+        return features_[f * sampleCount_ + i];
+    }
+
+    /** Target row of sample @p i (outputCount() values). */
+    const double *
+    y(std::size_t i) const
+    {
+        return targets_.data() + i * outputCount_;
+    }
+
+    /**
+     * Exact mode: sample indices sorted by (feature value, sample
+     * index) — the canonical tie order every split engine follows.
+     */
+    const std::uint32_t *
+    order(std::size_t f) const
+    {
+        return order_.data() + f * sampleCount_;
+    }
+
+    /** Histogram mode's bin index (null in other modes). */
+    const BinIndex *bins() const { return bins_.get(); }
+
+  private:
+    SplitMode mode_;
+    std::size_t sampleCount_ = 0;
+    std::size_t featureCount_ = 0;
+    std::size_t outputCount_ = 0;
+    std::vector<double> features_; // column-major
+    std::vector<double> targets_;  // row-major
+    std::vector<std::uint32_t> order_;
+    std::shared_ptr<const BinIndex> bins_;
+};
+
+/**
+ * Per-thread grower scratch: every buffer is resized (never shrunk)
+ * on use, so repeated fits on a pool worker stop allocating once the
+ * buffers reach steady state. Obtain via threadScratch().
+ */
+struct TreeScratch
+{
+    /** Bag multiplicity per dataset sample (exact-mode derivation). */
+    std::vector<std::uint32_t> bagCount;
+
+    /** Node membership in bag order, partitioned down the tree. */
+    std::vector<std::uint32_t> members;
+
+    /** Per-feature bag orderings (featureCount * bagSize, flat). */
+    std::vector<std::uint32_t> sorted;
+
+    /** Partition spill buffer (right-side members). */
+    std::vector<std::uint32_t> spill;
+
+    /** Candidate feature list of the current node. */
+    std::vector<std::size_t> features;
+
+    /** Per-output running sums of the current node and scan. */
+    std::vector<double> sum, sumSq, leftSum, leftSumSq;
+
+    /**
+     * Histogram accumulators (bins * outputs). Invariant: all-zero
+     * between scans — each scan re-zeroes only the bin range it
+     * touched, so small deep nodes never pay for 256 bins. histDirty
+     * marks a scan abandoned mid-flight (an exception unwound through
+     * it); the next tree restores the invariant with a full clear.
+     */
+    std::vector<std::uint32_t> histCount;
+    std::vector<double> histSum, histSumSq;
+    bool histDirty = false;
+};
+
+/** The calling thread's pooled scratch. */
+TreeScratch &threadScratch();
+
+} // namespace ml
+} // namespace wanify
+
+#endif // WANIFY_ML_TRAINING_CONTEXT_HH

@@ -498,17 +498,22 @@ goldenFixture()
 
 TEST(RuntimeBwPredictor, PredictMatrixMatchesPrePrGoldenMatrix)
 {
-    // Golden values captured from the pre-CompiledForest per-pair
-    // reference path (see CHANGES.md): the batched compiled path must
-    // reproduce them bit for bit.
+    // Golden values captured from the interpreted per-pair reference
+    // path (see CHANGES.md): the batched compiled path must reproduce
+    // them bit for bit. Re-locked when the trainer's tie order was
+    // canonicalized to (feature value, sample index) for the
+    // presorted exact engine — a trainer change (three marginal
+    // tie-break splits moved), not an inference change; inference
+    // parity is still locked by BatchedMatrixMatchesPerPairReference
+    // below and the ml_test compiled-forest suite.
     const double kGolden[4][4] = {
         {5800.0, 544.52859933535603, 868.59469093581788,
          561.2524390317808},
-        {1260.1596299287344, 5800.0, 1238.0036475617221,
+        {1259.2259436995178, 5800.0, 1238.0036475617221,
          308.33605793846647},
         {413.34217807457389, 57.589963821803032, 5800.0,
-         1268.885068807743},
-        {879.52877075997878, 1144.9202077429572, 256.69648202678104,
+         1267.9513825785264},
+        {879.52877075997878, 1144.9202077429572, 257.22110734868579,
          5800.0},
     };
 

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Perf-trajectory diff gate: compares a freshly produced BENCH_*.json
+ * against the committed baseline and fails on regression.
+ *
+ * The BENCH files carry two kinds of metric: absolute wall-clock
+ * values (machine-dependent — meaningless to compare across a dev box
+ * and a CI runner) and speedup ratios (algorithm-vs-algorithm on the
+ * same machine, comparable anywhere). By default only the `speedup_*`
+ * keys are gated, higher-is-better, with a 25% relative tolerance:
+ * a fresh speedup below baseline * (1 - tolerance) fails, and so does
+ * a gated baseline key missing from the fresh file (a silently
+ * dropped measurement is how trajectories rot). Improvements always
+ * pass and should be locked in by committing the fresh file as the
+ * new baseline.
+ *
+ * Usage:
+ *   wanify-bench-diff <baseline.json> <fresh.json>
+ *                     [--max-regress 0.25] [--prefix speedup_]
+ *
+ * The parser understands exactly the flat `"results": { "key":
+ * number, ... }` object the bench binaries emit — no JSON library
+ * needed (and none available without new dependencies).
+ */
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+struct Metric
+{
+    std::string name;
+    double value;
+};
+
+/** Extract "key": number pairs from the "results" object. */
+std::vector<Metric>
+parseResults(const std::string &text, const std::string &path)
+{
+    const std::size_t anchor = text.find("\"results\"");
+    if (anchor == std::string::npos) {
+        std::fprintf(stderr, "%s: no \"results\" object\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    const std::size_t open = text.find('{', anchor);
+    const std::size_t close = text.find('}', open);
+    if (open == std::string::npos || close == std::string::npos) {
+        std::fprintf(stderr, "%s: malformed \"results\" object\n",
+                     path.c_str());
+        std::exit(2);
+    }
+
+    std::vector<Metric> metrics;
+    std::size_t pos = open + 1;
+    while (pos < close) {
+        const std::size_t keyStart = text.find('"', pos);
+        if (keyStart == std::string::npos || keyStart >= close)
+            break;
+        const std::size_t keyEnd = text.find('"', keyStart + 1);
+        if (keyEnd == std::string::npos || keyEnd >= close)
+            break;
+        const std::size_t colon = text.find(':', keyEnd);
+        if (colon == std::string::npos || colon >= close)
+            break;
+        std::size_t valStart = colon + 1;
+        while (valStart < close &&
+               std::isspace(static_cast<unsigned char>(
+                   text[valStart])))
+            ++valStart;
+        char *end = nullptr;
+        const double value =
+            std::strtod(text.c_str() + valStart, &end);
+        if (end == text.c_str() + valStart) {
+            std::fprintf(stderr, "%s: non-numeric value for \"%s\"\n",
+                         path.c_str(),
+                         text.substr(keyStart + 1,
+                                     keyEnd - keyStart - 1)
+                             .c_str());
+            std::exit(2);
+        }
+        metrics.push_back(
+            {text.substr(keyStart + 1, keyEnd - keyStart - 1),
+             value});
+        pos = static_cast<std::size_t>(end - text.c_str());
+    }
+    if (metrics.empty()) {
+        std::fprintf(stderr, "%s: empty \"results\" object\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    return metrics;
+}
+
+std::string
+readFile(const char *path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot read %s\n", path);
+        std::exit(2);
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+const Metric *
+find(const std::vector<Metric> &metrics, const std::string &name)
+{
+    for (const auto &m : metrics)
+        if (m.name == name)
+            return &m;
+    return nullptr;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *baselinePath = nullptr;
+    const char *freshPath = nullptr;
+    double maxRegress = 0.25;
+    std::string prefix = "speedup_";
+    for (int a = 1; a < argc; ++a) {
+        if (std::strcmp(argv[a], "--max-regress") == 0 &&
+            a + 1 < argc) {
+            maxRegress = std::atof(argv[++a]);
+        } else if (std::strcmp(argv[a], "--prefix") == 0 &&
+                   a + 1 < argc) {
+            prefix = argv[++a];
+        } else if (baselinePath == nullptr) {
+            baselinePath = argv[a];
+        } else if (freshPath == nullptr) {
+            freshPath = argv[a];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s <baseline.json> <fresh.json> "
+                         "[--max-regress 0.25] [--prefix speedup_]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (baselinePath == nullptr || freshPath == nullptr) {
+        std::fprintf(stderr,
+                     "usage: %s <baseline.json> <fresh.json> "
+                     "[--max-regress 0.25] [--prefix speedup_]\n",
+                     argv[0]);
+        return 2;
+    }
+    if (maxRegress <= 0.0 || maxRegress >= 1.0) {
+        std::fprintf(stderr, "--max-regress must be in (0, 1)\n");
+        return 2;
+    }
+
+    const auto baseline =
+        parseResults(readFile(baselinePath), baselinePath);
+    const auto fresh = parseResults(readFile(freshPath), freshPath);
+
+    int regressions = 0;
+    std::size_t gated = 0;
+    for (const auto &base : baseline) {
+        if (base.name.compare(0, prefix.size(), prefix) != 0)
+            continue;
+        ++gated;
+        const Metric *now = find(fresh, base.name);
+        if (now == nullptr) {
+            std::fprintf(stderr,
+                         "REGRESSION %s: present in baseline, "
+                         "missing from %s\n",
+                         base.name.c_str(), freshPath);
+            ++regressions;
+            continue;
+        }
+        const double floor = base.value * (1.0 - maxRegress);
+        const char *verdict =
+            now->value < floor ? "REGRESSION" : "ok";
+        std::printf("%-32s baseline %9.3f  fresh %9.3f  floor "
+                    "%9.3f  %s\n",
+                    base.name.c_str(), base.value, now->value, floor,
+                    verdict);
+        if (now->value < floor)
+            ++regressions;
+    }
+    if (gated == 0) {
+        std::fprintf(stderr,
+                     "no baseline keys match prefix \"%s\" — "
+                     "nothing gated\n",
+                     prefix.c_str());
+        return 2;
+    }
+    if (regressions > 0) {
+        std::fprintf(stderr,
+                     "%d metric(s) regressed more than %.0f%% vs %s\n",
+                     regressions, maxRegress * 100.0, baselinePath);
+        return 1;
+    }
+    std::printf("perf trajectory ok: %zu metric(s) within %.0f%% of "
+                "baseline\n",
+                gated, maxRegress * 100.0);
+    return 0;
+}
