@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Serve performance bench: the resident multi-query service's
+ * behavioral trajectory, and the third leg of the repo's perf gate.
+ *
+ * Four measurements:
+ *
+ *  1. determinism — a small mixed drain executed twice must produce
+ *     bit-identical aggregate result hashes (the serve analogue of the
+ *     inference bench's parity gate; enforced in every mode);
+ *  2. throughput — a 256-query mixed workload drained through a
+ *     256-slot service over the shared 8-DC mesh: virtual-time
+ *     queries/hour, plus the peak-concurrency floor the acceptance
+ *     criteria name;
+ *  3. fairness — a homogeneous equal-weight small-query workload,
+ *     fully concurrent, under MaxMinFair: the Jain index over
+ *     per-query attained WAN throughput;
+ *  4. priority — the same contended workload with a weight-4 class,
+ *     drained under MaxMinFair and WeightedPriority: the priority
+ *     class's mean-latency gain from the weighted policy.
+ *
+ * Every gated metric is virtual-time — deterministic in the seed, so
+ * identical on any machine — which makes the committed BENCH_serve.json
+ * baseline a *behavioral* trajectory: wanify-bench-diff flags a change
+ * in what the service computes, not how fast the host ran it. Raw
+ * wall-clock drain times are recorded ungated.
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "serve/service.hh"
+#include "serve/workload.hh"
+#include "workloads/tpcds.hh"
+
+using namespace wanify;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::unique_ptr<core::Wanify>
+serveWanify()
+{
+    // The synthetic production-shape forest: deterministic and cheap
+    // to train, so the bench measures the service, not an analyzer
+    // campaign.
+    auto w = std::make_unique<core::Wanify>();
+    w->setPredictor(std::make_shared<core::RuntimeBwPredictor>(
+        bench::syntheticPredictor()));
+    return w;
+}
+
+struct DrainResult
+{
+    serve::ServiceReport report;
+    double wallMs = 0.0;
+};
+
+DrainResult
+drainSpecs(const serve::ServiceConfig &cfg,
+           std::vector<serve::QuerySpec> specs, bool fluctuation,
+           std::uint64_t seed)
+{
+    const auto wanify = serveWanify();
+    serve::Service service(experiments::workerCluster(8), cfg,
+                           fluctuation
+                               ? experiments::defaultSimConfig()
+                               : experiments::quietSimConfig(),
+                           wanify.get(), seed);
+    for (serve::QuerySpec &q : specs)
+        service.submit(std::move(q));
+    const auto t0 = Clock::now();
+    DrainResult out;
+    out.report = service.drain();
+    out.wallMs = std::chrono::duration<double, std::milli>(
+                     Clock::now() - t0)
+                     .count();
+    return out;
+}
+
+DrainResult
+drain(const serve::ServiceConfig &cfg,
+      const serve::WorkloadConfig &wl, bool fluctuation,
+      std::uint64_t seed)
+{
+    return drainSpecs(cfg, serve::mixedWorkload(wl, 8, seed),
+                      fluctuation, seed);
+}
+
+/**
+ * N copies of the same multi-DC TPC-DS proxy, all due at t = 0: a
+ * homogeneous WAN-bound workload. mixedWorkload's small queries plan
+ * defensively under a 1/N a-priori share — the scheduler keeps their
+ * input local and latency goes compute-bound, which tells the Jain
+ * index nothing about the allocator. Identical scatter-input
+ * analytics jobs *must* shuffle, so every query contends on the same
+ * pairs and fairness (and the weighted policy's priority effect) is
+ * actually exercised. Priority queries are every fourth one, by
+ * index, so the class split is identical across policies.
+ */
+std::vector<serve::QuerySpec>
+uniformWanWorkload(std::size_t count, double inputGb,
+                   bool withPriority)
+{
+    std::vector<serve::QuerySpec> specs;
+    specs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        serve::QuerySpec q;
+        q.name = "wan-q" + std::to_string(i);
+        q.job = workloads::tpcDsQuery(workloads::TpcDsQuery::Q95,
+                                      inputGb);
+        q.arrival = 0.0;
+        q.weight = withPriority && i % 4 == 0 ? 4.0 : 1.0;
+        std::vector<double> frac(8, 0.0);
+        double sum = 0.0;
+        for (std::size_t d = 0; d < 8; ++d) {
+            frac[d] = std::pow(0.6, static_cast<double>(d));
+            sum += frac[d];
+        }
+        q.inputByDc.assign(8, 0.0);
+        for (std::size_t d = 0; d < 8; ++d)
+            q.inputByDc[d] = q.job.inputBytes * frac[d] / sum;
+        specs.push_back(std::move(q));
+    }
+    return specs;
+}
+
+/** Mean execution latency of queries whose weight is @p weight. */
+double
+classMeanLatency(const serve::ServiceReport &report,
+                 const std::vector<serve::QuerySpec> &specs,
+                 double weight)
+{
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < report.queries.size(); ++i) {
+        if (specs[i].weight != weight ||
+            report.queries[i].timedOut)
+            continue;
+        sum += report.queries[i].latency;
+        ++count;
+    }
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    std::string outPath = "BENCH_serve.json";
+    for (int a = 1; a < argc; ++a) {
+        if (std::strcmp(argv[a], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[a], "--out") == 0 &&
+                   a + 1 < argc) {
+            outPath = argv[++a];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--smoke] [--out path]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    // --- 1. determinism gate (every mode) ---------------------------------
+    {
+        serve::ServiceConfig cfg;
+        cfg.maxConcurrent = 16;
+        serve::WorkloadConfig wl;
+        wl.queries = 24;
+        wl.arrivalWindow = 20.0;
+        const auto a = drain(cfg, wl, true, 17);
+        const auto b = drain(cfg, wl, true, 17);
+        if (a.report.resultHash != b.report.resultHash) {
+            std::fprintf(stderr,
+                         "DETERMINISM FAILURE: %016llx != %016llx\n",
+                         static_cast<unsigned long long>(
+                             a.report.resultHash),
+                         static_cast<unsigned long long>(
+                             b.report.resultHash));
+            return 1;
+        }
+    }
+
+    // --- 2. throughput at the acceptance scale ----------------------------
+    const std::size_t scaleQueries = smoke ? 48 : 256;
+    const std::size_t scaleSlots = smoke ? 48 : 256;
+    serve::ServiceConfig mixedCfg;
+    mixedCfg.maxConcurrent = scaleSlots;
+    serve::WorkloadConfig mixedWl;
+    mixedWl.queries = scaleQueries;
+    mixedWl.arrivalWindow = 0.0; // all due at t = 0: full concurrency
+    const auto mixed = drain(mixedCfg, mixedWl, true, 2025);
+
+    // --- 3. fairness under MaxMinFair -------------------------------------
+    // Homogeneous demand (identical WAN-bound queries, all
+    // concurrent) is where the Jain index cleanly measures the
+    // allocator rather than the workload mix.
+    const std::size_t fairQueries = smoke ? 12 : 16;
+    const double fairGb = 2.0;
+    serve::ServiceConfig fairCfg;
+    fairCfg.maxConcurrent = fairQueries;
+    const auto fair = drainSpecs(
+        fairCfg, uniformWanWorkload(fairQueries, fairGb, false),
+        false, 71);
+
+    // --- 4. the weighted policy's priority gain ---------------------------
+    serve::ServiceConfig prioCfg = fairCfg;
+    prioCfg.policy = serve::AllocPolicy::MaxMinFair;
+    const auto prioBase = drainSpecs(
+        prioCfg, uniformWanWorkload(fairQueries, fairGb, true),
+        false, 71);
+    prioCfg.policy = serve::AllocPolicy::WeightedPriority;
+    const auto prioWeighted = drainSpecs(
+        prioCfg, uniformWanWorkload(fairQueries, fairGb, true),
+        false, 71);
+
+    const auto prioSpecs =
+        uniformWanWorkload(fairQueries, fairGb, true);
+    const double prioLatBase =
+        classMeanLatency(prioBase.report, prioSpecs, 4.0);
+    const double prioLatWeighted =
+        classMeanLatency(prioWeighted.report, prioSpecs, 4.0);
+    const double priorityGain =
+        prioLatWeighted > 0.0 ? prioLatBase / prioLatWeighted : 0.0;
+
+    Table table("Serve performance (8 DCs, shared mesh)");
+    table.setHeader({"measurement", "value"});
+    table.addRow({"mixed queries",
+                  std::to_string(mixed.report.queries.size())});
+    table.addRow({"peak concurrent",
+                  std::to_string(mixed.report.peakConcurrent)});
+    table.addRow({"throughput (q/h)",
+                  Table::num(mixed.report.throughputPerHour, 1)});
+    table.addRow({"mixed drain wall (ms)",
+                  Table::num(mixed.wallMs, 0)});
+    table.addRow({"jain (maxmin, homogeneous)",
+                  Table::num(fair.report.jainFairness, 4)});
+    table.addRow({"priority lat maxmin (s)",
+                  Table::num(prioLatBase, 3)});
+    table.addRow({"priority lat weighted (s)",
+                  Table::num(prioLatWeighted, 3)});
+    table.addRow({"priority gain (weighted)",
+                  Table::num(priorityGain, 2) + "x"});
+    table.addRow({"redispatches",
+                  std::to_string(mixed.report.redispatches)});
+    table.print();
+    std::printf("determinism: repeated drains bit-identical\n");
+
+    bench::writeBenchJson(
+        outPath,
+        {bench::BenchJsonField::text("bench", "serve"),
+         bench::BenchJsonField::boolean("smoke", smoke),
+         bench::BenchJsonField::num("queries", scaleQueries),
+         bench::BenchJsonField::num("max_concurrent", scaleSlots),
+         bench::BenchJsonField::num(
+             "pool_threads", ThreadPool::global().threadCount()),
+         bench::BenchJsonField::text("determinism",
+                                     "bit-identical")},
+        {{"serve_throughput_qph", mixed.report.throughputPerHour},
+         {"serve_jain_maxmin", fair.report.jainFairness},
+         {"serve_priority_gain", priorityGain},
+         {"peak_concurrent",
+          static_cast<double>(mixed.report.peakConcurrent)},
+         {"mixed_drain_wall_ms", mixed.wallMs},
+         {"mixed_redispatches",
+          static_cast<double>(mixed.report.redispatches)},
+         {"capped_pair_rounds",
+          static_cast<double>(mixed.report.cappedPairRounds)}});
+    std::printf("wrote %s\n", outPath.c_str());
+
+    // Smoke gates on determinism only. Full runs enforce behavioral
+    // floors: the acceptance-scale concurrency must actually be
+    // reached, the allocator must produce a recognizably fair split
+    // of homogeneous demand, and the weighted policy must help the
+    // class it exists to help.
+    if (!smoke && mixed.report.peakConcurrent < 256) {
+        std::fprintf(stderr,
+                     "peak concurrency %zu below the 256-query "
+                     "acceptance floor\n",
+                     mixed.report.peakConcurrent);
+        return 1;
+    }
+    if (!smoke && fair.report.jainFairness < 0.5) {
+        std::fprintf(stderr,
+                     "Jain fairness %.3f below the 0.5 floor on "
+                     "homogeneous demand\n",
+                     fair.report.jainFairness);
+        return 1;
+    }
+    if (!smoke && priorityGain < 1.0) {
+        std::fprintf(stderr,
+                     "weighted policy made the priority class "
+                     "slower (gain %.2fx)\n",
+                     priorityGain);
+        return 1;
+    }
+    if (mixed.report.completed + mixed.report.timedOut !=
+        mixed.report.queries.size()) {
+        std::fprintf(stderr, "drain lost queries\n");
+        return 1;
+    }
+    return 0;
+}

@@ -42,14 +42,6 @@ meanAbsOffDiag(const Matrix<Mbps> &a, const Matrix<Mbps> &b)
     return pairs == 0 ? 0.0 : sum / static_cast<double>(pairs);
 }
 
-/** First VM of a DC carries that DC's shuffle endpoints. */
-VmId
-endpointVm(const net::Topology &topo, DcId dc)
-{
-    panicIf(topo.dc(dc).vms.empty(), "engine: DC without VMs");
-    return topo.dc(dc).vms.front();
-}
-
 /**
  * Per-run dynamics state: applies the (shared, immutable) scenario
  * timeline to this run's simulator and drives the shared burst
@@ -181,6 +173,37 @@ class ControlProbe
 
 } // namespace
 
+VmId
+shuffleEndpointVm(const net::Topology &topo, DcId dc)
+{
+    panicIf(topo.dc(dc).vms.empty(), "engine: DC without VMs");
+    return topo.dc(dc).vms.front();
+}
+
+StageContext
+makeStageContext(const net::Topology &topo, const JobSpec &job,
+                 std::size_t stageIdx,
+                 const std::vector<Bytes> &inputByDc,
+                 const Matrix<Mbps> &bw)
+{
+    StageContext ctx;
+    ctx.topo = &topo;
+    ctx.bw = &bw;
+    ctx.inputByDc = inputByDc;
+    ctx.stage = &job.stages[stageIdx];
+    ctx.stageIndex = stageIdx;
+
+    const std::size_t n = topo.dcCount();
+    ctx.computeRate.assign(n, 0.0);
+    ctx.egressPrice.assign(n, 0.0);
+    for (DcId dc = 0; dc < n; ++dc) {
+        for (VmId v : topo.dc(dc).vms)
+            ctx.computeRate[dc] += topo.vm(v).type.computeRate;
+        ctx.egressPrice[dc] = topo.dc(dc).region.egressPerGb;
+    }
+    return ctx;
+}
+
 Engine::Engine(net::Topology topo, net::NetworkSimConfig simCfg,
                std::uint64_t seed)
     : topo_(std::move(topo)), simCfg_(simCfg), seed_(seed)
@@ -191,22 +214,7 @@ Engine::makeContext(const JobSpec &job, std::size_t stageIdx,
                     const std::vector<Bytes> &inputByDc,
                     const Matrix<Mbps> &bw) const
 {
-    StageContext ctx;
-    ctx.topo = &topo_;
-    ctx.bw = &bw;
-    ctx.inputByDc = inputByDc;
-    ctx.stage = &job.stages[stageIdx];
-    ctx.stageIndex = stageIdx;
-
-    const std::size_t n = topo_.dcCount();
-    ctx.computeRate.assign(n, 0.0);
-    ctx.egressPrice.assign(n, 0.0);
-    for (DcId dc = 0; dc < n; ++dc) {
-        for (VmId v : topo_.dc(dc).vms)
-            ctx.computeRate[dc] += topo_.vm(v).type.computeRate;
-        ctx.egressPrice[dc] = topo_.dc(dc).region.egressPerGb;
-    }
-    return ctx;
+    return makeStageContext(topo_, job, stageIdx, inputByDc, bw);
 }
 
 QueryResult
@@ -411,7 +419,8 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
                 if (i == j || bytes < 1.0)
                     continue;
                 const TransferId id = sim.startTransfer(
-                    endpointVm(topo_, i), endpointVm(topo_, j),
+                    shuffleEndpointVm(topo_, i),
+                    shuffleEndpointVm(topo_, j),
                     bytes, connectionsFor(i, j));
                 pending[id] = {i, j, bytes, 0.0};
             }

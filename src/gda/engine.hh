@@ -186,6 +186,28 @@ struct RunOptions
     Seconds maxStageSeconds = 6.0 * 3600.0;
 };
 
+/**
+ * First VM of a DC carries that DC's shuffle endpoints — the shared
+ * convention of the one-shot engine and the serve layer's per-query
+ * executions, so both bill traffic to the same VM pairs.
+ */
+net::VmId shuffleEndpointVm(const net::Topology &topo, net::DcId dc);
+
+/**
+ * Build the scheduler-facing context for stage @p stageIdx of @p job:
+ * compute rates and egress prices from the topology, the stage's
+ * input distribution, and the BW matrix the scheduler should believe.
+ * Shared by Engine::run (one query, private simulator) and the serve
+ * layer (many queries, shared simulator) — the engine split that lets
+ * per-query execution live anywhere while the planning inputs stay
+ * identical. ctx.wanShare is left at its single-query default (1);
+ * multi-query callers scale it to their allocated share.
+ */
+StageContext makeStageContext(const net::Topology &topo,
+                              const JobSpec &job, std::size_t stageIdx,
+                              const std::vector<Bytes> &inputByDc,
+                              const Matrix<Mbps> &bw);
+
 class Engine
 {
   public:

@@ -17,15 +17,22 @@ estimateStageTime(const StageContext &ctx,
     const std::size_t n = ctx.topo->dcCount();
     fatalIf(assignment.rows() != n || assignment.cols() != n,
             "estimateStageTime: assignment shape mismatch");
+    fatalIf(!(ctx.wanShare > 0.0) || ctx.wanShare > 1.0,
+            "estimateStageTime: wanShare must be in (0, 1]");
 
     // Aggregate WAN capacity per DC (first VM's throttle; transfers
     // into/out of a DC share its NIC no matter what the per-pair BW
     // says).
+    // The shuffle-endpoint NIC is shared across concurrent queries
+    // exactly like the links are (every query bills traffic to the
+    // same first VM), so the granted share scales it too.
     std::vector<Mbps> wanCap(n, 1.0);
     for (std::size_t d = 0; d < n; ++d) {
         const auto &vms = ctx.topo->dc(d).vms;
         if (!vms.empty())
-            wanCap[d] = ctx.topo->vm(vms.front()).type.wanCapMbps;
+            wanCap[d] = std::max(
+                1.0,
+                ctx.topo->vm(vms.front()).type.wanCapMbps * ctx.wanShare);
     }
 
     // Per destination: slowest inbound link (transfers overlap),
@@ -49,7 +56,12 @@ estimateStageTime(const StageContext &ctx,
             if (i == j || bytes <= 0.0)
                 continue;
             inbound += bytes;
-            const Mbps bw = std::max(1.0, ctx.bw->at(i, j));
+            // Plan with only the WAN share this query was granted:
+            // concurrent queries consume the rest of the link, so
+            // assuming the full believed BW would systematically
+            // under-estimate transfer time under a resident service.
+            const Mbps bw =
+                std::max(1.0, ctx.bw->at(i, j) * ctx.wanShare);
             slowestIn =
                 std::max(slowestIn, units::transferTime(bytes, bw));
         }

@@ -45,6 +45,17 @@ struct StageContext
 
     const StageSpec *stage = nullptr;
     std::size_t stageIndex = 0;
+
+    /**
+     * Fraction of each pair's believed BW this query may assume, in
+     * (0, 1]: the cross-query WAN share granted by the serve layer's
+     * BandwidthAllocator. The single-query default of 1 claims whole
+     * links, which is exactly the one-shot engine's semantics; under
+     * a resident service the fraction search plans with the share it
+     * was actually allocated, so placement stops assuming bandwidth
+     * that concurrent queries are consuming.
+     */
+    double wanShare = 1.0;
 };
 
 /** Estimated completion time of an assignment under the believed BW. */

@@ -21,6 +21,25 @@ struct Resource
     std::vector<std::size_t> flows; ///< indices of flows crossing it
 };
 
+/** Binary search the sorted sparse group-share caps for (group, pair);
+ *  returns the entry index or -1. */
+int
+findGroupCap(const std::vector<SolverInputs::GroupShareCap> &caps,
+             std::size_t group, std::size_t pair)
+{
+    auto it = std::lower_bound(
+        caps.begin(), caps.end(),
+        std::make_pair(group, pair),
+        [](const SolverInputs::GroupShareCap &c,
+           const std::pair<std::size_t, std::size_t> &key) {
+            return c.group != key.first ? c.group < key.first
+                                        : c.pair < key.second;
+        });
+    if (it == caps.end() || it->group != group || it->pair != pair)
+        return -1;
+    return static_cast<int>(it - caps.begin());
+}
+
 } // namespace
 
 Mbps
@@ -62,6 +81,18 @@ solveRates(const std::vector<FlowSpec> &flows, const SolverInputs &inputs,
         if (pair < inputs.tcLimit.size() &&
             inputs.tcLimit[pair] > 0.0)
             desire = std::min(desire, inputs.tcLimit[pair]);
+        if (f.group != kNoFlowGroup) {
+            const int gc = findGroupCap(inputs.groupShareCap,
+                                        f.group, pair);
+            if (gc >= 0 && inputs.groupShareCap
+                                   [static_cast<std::size_t>(gc)]
+                                       .cap > 0.0)
+                desire = std::min(
+                    desire,
+                    inputs.groupShareCap
+                        [static_cast<std::size_t>(gc)]
+                            .cap);
+        }
         if (f.srcVm < connsAtVm.size()) {
             connsAtVm[f.srcVm] += c;
             desireAtVm[f.srcVm] += desire;
@@ -95,6 +126,7 @@ solveRates(const std::vector<FlowSpec> &flows, const SolverInputs &inputs,
     std::vector<int> nicIdx(inputs.vmNicCap.size(), -1);
     std::vector<int> pathIdx(inputs.pathCap.size(), -1);
     std::vector<int> tcIdx(inputs.tcLimit.size(), -1);
+    std::vector<int> groupCapIdx(inputs.groupShareCap.size(), -1);
 
     auto getResource = [&](std::vector<int> &map, std::size_t key,
                            Mbps cap, Bottleneck kind) -> int {
@@ -158,6 +190,21 @@ solveRates(const std::vector<FlowSpec> &flows, const SolverInputs &inputs,
         if (pair < inputs.tcLimit.size() && inputs.tcLimit[pair] > 0.0) {
             fr.push_back(getResource(tcIdx, pair, inputs.tcLimit[pair],
                                      Bottleneck::TcLimit));
+        }
+        if (spec.group != kNoFlowGroup) {
+            const int gc = findGroupCap(inputs.groupShareCap,
+                                        spec.group, pair);
+            if (gc >= 0) {
+                const auto &entry =
+                    inputs.groupShareCap[static_cast<std::size_t>(
+                        gc)];
+                if (entry.cap > 0.0) {
+                    fr.push_back(getResource(
+                        groupCapIdx,
+                        static_cast<std::size_t>(gc), entry.cap,
+                        Bottleneck::GroupShare));
+                }
+            }
         }
         for (int r : fr)
             resources[static_cast<std::size_t>(r)].flows.push_back(f);

@@ -50,7 +50,11 @@ enum class Bottleneck {
     NicTotal,    ///< a VM's total NIC (sum of in and out, Section 2.1)
     Path,        ///< DC-pair backbone capacity
     TcLimit,     ///< WANify throttling
+    GroupShare,  ///< cross-query allocator share (serve layer)
 };
+
+/** Sentinel for flows that belong to no flow group. */
+constexpr std::size_t kNoFlowGroup = static_cast<std::size_t>(-1);
 
 /** One transfer bundle presented to the solver. */
 struct FlowSpec
@@ -68,6 +72,13 @@ struct FlowSpec
 
     /** Achievable throughput of one connection (RTT model). */
     Mbps capPerConn = 0.0;
+
+    /**
+     * Dense flow-group index (one group per concurrent query in the
+     * serve layer), or kNoFlowGroup. Groups tie a query's flows to
+     * the cross-query share caps in SolverInputs::groupShareCap.
+     */
+    std::size_t group = kNoFlowGroup;
 };
 
 /** Per-flow result. */
@@ -105,6 +116,23 @@ struct SolverInputs
      * unlimited. Empty vector = no throttling anywhere.
      */
     std::vector<Mbps> tcLimit;
+
+    /**
+     * Sparse cross-query share caps installed by the serve layer's
+     * BandwidthAllocator: the aggregate rate of one flow group across
+     * one ordered DC pair may not exceed @c cap. Entries must be
+     * sorted by (group, pair) and unique; caps <= 0 are ignored.
+     * This is how one query's WAN share of a contended link is
+     * *divided* away from the others while the ordinary max-min
+     * filling still governs everything inside the share.
+     */
+    struct GroupShareCap
+    {
+        std::size_t group = 0;
+        std::size_t pair = 0;
+        Mbps cap = 0.0;
+    };
+    std::vector<GroupShareCap> groupShareCap;
 };
 
 /** Tunables of the allocation model. */

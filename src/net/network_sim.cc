@@ -48,7 +48,7 @@ NetworkSim::NetworkSim(Topology topology, NetworkSimConfig config,
 
 TransferId
 NetworkSim::makeTransfer(VmId src, VmId dst, Bytes bytes, int connections,
-                         bool measurement)
+                         bool measurement, FlowGroupId group)
 {
     fatalIf(src >= topology_.vmCount() || dst >= topology_.vmCount(),
             "NetworkSim: VM id out of range");
@@ -63,6 +63,7 @@ NetworkSim::makeTransfer(VmId src, VmId dst, Bytes bytes, int connections,
     t.dstDc = topology_.vm(dst).dc;
     t.connections = connections;
     t.measurement = measurement;
+    t.group = group;
     t.remaining = measurement ? kInf : bytes;
     transfers_[t.id] = t;
     ratesDirty_ = true;
@@ -70,16 +71,17 @@ NetworkSim::makeTransfer(VmId src, VmId dst, Bytes bytes, int connections,
 }
 
 TransferId
-NetworkSim::startTransfer(VmId src, VmId dst, Bytes bytes, int connections)
+NetworkSim::startTransfer(VmId src, VmId dst, Bytes bytes, int connections,
+                          FlowGroupId group)
 {
     fatalIf(bytes <= 0.0, "startTransfer: bytes must be positive");
-    return makeTransfer(src, dst, bytes, connections, false);
+    return makeTransfer(src, dst, bytes, connections, false, group);
 }
 
 TransferId
 NetworkSim::startMeasurement(VmId src, VmId dst, int connections)
 {
-    return makeTransfer(src, dst, 0.0, connections, true);
+    return makeTransfer(src, dst, 0.0, connections, true, 0);
 }
 
 void
@@ -166,6 +168,74 @@ NetworkSim::scenarioRttFactor(DcId src, DcId dst) const
 }
 
 void
+NetworkSim::setGroupWeight(FlowGroupId group, double weight)
+{
+    fatalIf(group == 0, "setGroupWeight: group 0 is ungrouped");
+    fatalIf(!std::isfinite(weight) || weight <= 0.0,
+            "setGroupWeight: weight must be finite and > 0");
+    groups_[group].weight = weight;
+    ratesDirty_ = true;
+}
+
+void
+NetworkSim::setGroupPairCap(FlowGroupId group, DcId src, DcId dst,
+                            Mbps cap)
+{
+    fatalIf(group == 0, "setGroupPairCap: group 0 is ungrouped");
+    fatalIf(!std::isfinite(cap), "setGroupPairCap: cap must be finite");
+    const std::size_t pair = topology_.pairIndex(src, dst);
+    if (cap > 0.0) {
+        groups_[group].pairCap[pair] = cap;
+    } else {
+        auto it = groups_.find(group);
+        if (it == groups_.end())
+            return;
+        it->second.pairCap.erase(pair);
+    }
+    ratesDirty_ = true;
+}
+
+void
+NetworkSim::clearGroupAllocations(FlowGroupId group)
+{
+    if (groups_.erase(group) > 0)
+        ratesDirty_ = true;
+}
+
+Mbps
+NetworkSim::groupRate(FlowGroupId group) const
+{
+    Mbps total = 0.0;
+    for (const auto &[id, t] : transfers_) {
+        if (t.group == group)
+            total += t.rate;
+    }
+    return total;
+}
+
+Bytes
+NetworkSim::groupPendingBytes(FlowGroupId group) const
+{
+    Bytes total = 0.0;
+    for (const auto &[id, t] : transfers_) {
+        if (t.group == group && !t.measurement)
+            total += t.remaining;
+    }
+    return total;
+}
+
+std::size_t
+NetworkSim::groupTransferCount(FlowGroupId group) const
+{
+    std::size_t count = 0;
+    for (const auto &[id, t] : transfers_) {
+        if (t.group == group)
+            ++count;
+    }
+    return count;
+}
+
+void
 NetworkSim::resolveRates()
 {
     const std::size_t n = topology_.dcCount();
@@ -194,6 +264,18 @@ NetworkSim::resolveRates()
     }
     inputs.tcLimit = tcLimits_;
 
+    // Allocator state: groups_ keys map to dense solver indices in
+    // ascending id order (deterministic), and each group's sparse
+    // share caps land pre-sorted by (group, pair) because both maps
+    // iterate in key order.
+    std::map<FlowGroupId, std::size_t> denseGroup;
+    for (const auto &[g, state] : groups_) {
+        const std::size_t dense = denseGroup.size();
+        denseGroup.emplace(g, dense);
+        for (const auto &[pair, cap] : state.pairCap)
+            inputs.groupShareCap.push_back({dense, pair, cap});
+    }
+
     std::vector<FlowSpec> specs;
     std::vector<TransferId> order;
     specs.reserve(transfers_.size());
@@ -218,6 +300,13 @@ NetworkSim::resolveRates()
         spec.weightPerConn =
             topology_.routeQuality(t.srcDc, t.dstDc) / (rtt * rtt);
         spec.capPerConn = topology_.connCap(t.srcDc, t.dstDc);
+        if (t.group != 0) {
+            auto g = groups_.find(t.group);
+            if (g != groups_.end()) {
+                spec.weightPerConn *= g->second.weight;
+                spec.group = denseGroup.at(t.group);
+            }
+        }
         specs.push_back(spec);
         order.push_back(id);
     }

@@ -32,6 +32,15 @@ namespace net {
 
 using TransferId = std::uint64_t;
 
+/**
+ * A flow group ties the transfers of one logical tenant (one query of
+ * the serve layer) together for cross-query bandwidth allocation:
+ * per-group fair-share weights, per-(group, pair) share caps, and
+ * per-group telemetry. Group 0 is "ungrouped" — the default for all
+ * legacy callers, measurement flows, and scenario bursts.
+ */
+using FlowGroupId = std::uint64_t;
+
 /** A transfer completion event. */
 struct CompletionRecord
 {
@@ -77,7 +86,8 @@ class NetworkSim
 
     /** Start a finite transfer of @p bytes; returns its id. */
     TransferId startTransfer(VmId src, VmId dst, Bytes bytes,
-                             int connections = 1);
+                             int connections = 1,
+                             FlowGroupId group = 0);
 
     /** Start an infinite (iPerf-style) measurement flow. */
     TransferId startMeasurement(VmId src, VmId dst, int connections = 1);
@@ -117,6 +127,47 @@ class NetworkSim
 
     double scenarioCapFactor(DcId src, DcId dst) const;
     double scenarioRttFactor(DcId src, DcId dst) const;
+
+    // --- flow registry (cross-query WAN sharing) ---------------------------
+    //
+    // The serve layer's BandwidthAllocator divides each contended
+    // pair's capacity among active queries by installing per-(group,
+    // pair) share caps — enforced inside the flow solver as first-
+    // class resources (Bottleneck::GroupShare) — and may bias the
+    // weighted max-min filling itself through per-group weights.
+
+    /**
+     * Fair-share weight multiplier for every flow of @p group (> 0,
+     * finite; default 1). Composes with the per-flow RTT-bias weight,
+     * so a weight of 2 gives the group's flows twice the share they
+     * would organically win at every shared resource.
+     */
+    void setGroupWeight(FlowGroupId group, double weight);
+
+    /**
+     * Cap the aggregate rate of @p group across ordered pair
+     * (src, dst) at @p cap Mbps; cap <= 0 removes the cap. The cap
+     * becomes a dedicated solver resource, so the group's flows
+     * share *their* allocation max-min among themselves while other
+     * groups compete only for the remainder.
+     */
+    void setGroupPairCap(FlowGroupId group, DcId src, DcId dst,
+                         Mbps cap);
+
+    /** Drop every weight and share cap registered for @p group. */
+    void clearGroupAllocations(FlowGroupId group);
+
+    /** Instantaneous aggregate rate of a group's transfers. */
+    Mbps groupRate(FlowGroupId group) const;
+
+    /** Remaining bytes of a group's active finite transfers. */
+    Bytes groupPendingBytes(FlowGroupId group) const;
+
+    /** Active transfers (finite + measurement) tagged with @p group. */
+    std::size_t groupTransferCount(FlowGroupId group) const;
+
+    /** Groups with registered weights or share caps. */
+    std::size_t registeredGroupCount() const { return groups_.size(); }
 
     // --- time -------------------------------------------------------------
 
@@ -184,10 +235,20 @@ class NetworkSim
         DcId dstDc = 0;
         int connections = 1;
         bool measurement = false;
+        FlowGroupId group = 0;
         Bytes remaining = 0.0;
         Bytes moved = 0.0;
         Mbps rate = 0.0;
         Bottleneck bottleneck = Bottleneck::None;
+    };
+
+    /** Allocator state for one flow group (see setGroupWeight). */
+    struct GroupState
+    {
+        double weight = 1.0;
+
+        /** Share cap per ordered pair index; absent = uncapped. */
+        std::map<std::size_t, Mbps> pairCap;
     };
 
     /** Recompute rates for the current flow set. */
@@ -200,7 +261,8 @@ class NetworkSim
     void progress(Seconds dt);
 
     TransferId makeTransfer(VmId src, VmId dst, Bytes bytes,
-                            int connections, bool measurement);
+                            int connections, bool measurement,
+                            FlowGroupId group);
 
     Topology topology_;
     NetworkSimConfig config_;
@@ -217,6 +279,7 @@ class NetworkSim
 
     std::map<TransferId, Transfer> transfers_;
     std::map<TransferId, Transfer> completed_;
+    std::map<FlowGroupId, GroupState> groups_;
     std::vector<CompletionRecord> completions_;
     std::vector<Mbps> tcLimits_;      ///< per ordered pair; <=0 = none
     std::vector<double> scenarioCap_; ///< per ordered pair; default 1

@@ -1,0 +1,175 @@
+#include "serve/allocator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace wanify {
+namespace serve {
+
+const char *
+allocPolicyName(AllocPolicy policy)
+{
+    switch (policy) {
+    case AllocPolicy::MaxMinFair:
+        return "maxmin";
+    case AllocPolicy::WeightedPriority:
+        return "weighted";
+    }
+    return "?";
+}
+
+BandwidthAllocator::BandwidthAllocator(AllocPolicy policy)
+    : policy_(policy)
+{}
+
+namespace {
+
+/** One demander at a contended pair during the water-fill. */
+struct Claim
+{
+    net::FlowGroupId group = 0;
+    double weight = 1.0;
+    Mbps demand = 0.0; ///< <= 0 = elastic
+    Mbps granted = 0.0;
+    bool satisfied = false;
+};
+
+/**
+ * Weighted water-filling of @p capacity among @p claims: repeatedly
+ * raise a common water level (rate per unit weight); claims whose
+ * finite demand sits below their level-implied share freeze at their
+ * demand and release the remainder to everyone still filling. The
+ * fixed point is the weighted max-min fair allocation.
+ */
+void
+waterFill(Mbps capacity, std::vector<Claim> &claims)
+{
+    Mbps remaining = capacity;
+    std::size_t unsatisfied = claims.size();
+    while (unsatisfied > 0) {
+        double weightSum = 0.0;
+        for (const Claim &c : claims)
+            if (!c.satisfied)
+                weightSum += c.weight;
+        const double level = remaining / weightSum;
+        bool froze = false;
+        for (Claim &c : claims) {
+            if (c.satisfied)
+                continue;
+            const Mbps fair = c.weight * level;
+            if (c.demand > 0.0 && c.demand <= fair) {
+                c.granted = c.demand;
+                c.satisfied = true;
+                remaining -= c.demand;
+                --unsatisfied;
+                froze = true;
+            }
+        }
+        if (!froze) {
+            for (Claim &c : claims) {
+                if (c.satisfied)
+                    continue;
+                c.granted = c.weight * level;
+                c.satisfied = true;
+            }
+            break;
+        }
+    }
+}
+
+} // namespace
+
+Allocation
+BandwidthAllocator::allocate(net::NetworkSim &sim,
+                             const std::vector<QueryDemand> &demands)
+{
+    const net::Topology &topo = sim.topology();
+    Allocation out;
+
+    // Queries arrive sorted by group; the per-pair claim lists below
+    // inherit that order, so ties in the water-fill resolve the same
+    // way every round and every run.
+    for (std::size_t q = 1; q < demands.size(); ++q)
+        panicIf(demands[q - 1].group >= demands[q].group,
+                "BandwidthAllocator: demands not sorted by group");
+
+    // Group weights steer the solver's organic filling between
+    // allocation rounds (new flows join mid-epoch); the caps bound
+    // each query's aggregate per pair. Both express the same policy.
+    for (const QueryDemand &q : demands) {
+        fatalIf(q.group == 0,
+                "BandwidthAllocator: group 0 is reserved");
+        fatalIf(!(q.weight > 0.0) || !std::isfinite(q.weight),
+                "BandwidthAllocator: weight must be positive");
+        sim.setGroupWeight(q.group,
+                           policy_ == AllocPolicy::WeightedPriority
+                               ? q.weight
+                               : 1.0);
+        out.planningShare[q.group] = 1.0;
+    }
+
+    // Collect the demanding queries per ordered pair.
+    std::map<std::size_t, std::vector<Claim>> byPair;
+    for (const QueryDemand &q : demands) {
+        const double w =
+            policy_ == AllocPolicy::WeightedPriority ? q.weight : 1.0;
+        for (const PairDemand &p : q.pairs)
+            byPair[p.pair].push_back({q.group, w, p.demand, 0.0,
+                                      false});
+    }
+
+    // Water-fill the contended pairs and install the shares; record
+    // which caps each group now holds so stale ones can be retired.
+    std::map<net::FlowGroupId, std::vector<std::size_t>> fresh;
+    for (auto &[pair, claims] : byPair) {
+        if (claims.size() < 2)
+            continue; // sole demander keeps whole-link behavior
+
+        const net::DcId src = pair / topo.dcCount();
+        const net::DcId dst = pair % topo.dcCount();
+        const Mbps capacity = sim.effectivePathCap(src, dst);
+        if (capacity <= 0.0)
+            continue; // outage: the solver starves the pair anyway
+
+        waterFill(capacity, claims);
+        ++out.cappedPairs;
+        for (const Claim &c : claims) {
+            sim.setGroupPairCap(c.group, src, dst, c.granted);
+            fresh[c.group].push_back(pair);
+            ++out.installedCaps;
+            auto it = out.planningShare.find(c.group);
+            it->second =
+                std::min(it->second, c.granted / capacity);
+        }
+    }
+
+    // Retire caps installed in earlier rounds that this round did not
+    // renew — the pair went uncontended or the query left it.
+    for (const auto &[group, pairs] : installed_) {
+        const auto now = fresh.find(group);
+        for (const std::size_t pair : pairs) {
+            const bool kept =
+                now != fresh.end() &&
+                std::find(now->second.begin(), now->second.end(),
+                          pair) != now->second.end();
+            if (!kept)
+                sim.setGroupPairCap(group, pair / topo.dcCount(),
+                                    pair % topo.dcCount(), 0.0);
+        }
+    }
+    installed_ = std::move(fresh);
+    return out;
+}
+
+void
+BandwidthAllocator::release(net::NetworkSim &sim,
+                            net::FlowGroupId group)
+{
+    sim.clearGroupAllocations(group);
+    installed_.erase(group);
+}
+
+} // namespace serve
+} // namespace wanify

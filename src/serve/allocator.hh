@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Cross-query WAN bandwidth allocator for the resident service.
+ *
+ * The one-shot engine lets each query assume whole links: correct when
+ * one query owns the WAN, systematically wrong when hundreds share it.
+ * The allocator closes that gap online. Every allocation round it takes
+ * the active queries' per-pair demands (which ordered DC pairs each
+ * query is currently shuffling over, and at what rate it could usefully
+ * consume), water-fills each contended pair's effective capacity among
+ * the demanding queries, and installs the resulting shares on the
+ * shared NetworkSim through the flow-registry hooks: per-(group, pair)
+ * share caps — first-class solver resources — plus per-group fair-share
+ * weights.
+ *
+ * Two policies:
+ *  - MaxMinFair: every demanding query weighs 1; the water-fill is the
+ *    classic max-min fair allocation per pair.
+ *  - WeightedPriority: shares are proportional to the query's declared
+ *    weight (its priority class), so a weight-4 query gets 4x the share
+ *    of a weight-1 query wherever they contend.
+ *
+ * Caps are installed only on *contended* pairs (two or more demanding
+ * queries, or aggregate demand above capacity): an uncontended query
+ * keeps whole-link behavior at zero solver cost, which keeps the flow
+ * solver's resource count proportional to actual contention rather
+ * than to queries x pairs.
+ */
+
+#ifndef WANIFY_SERVE_ALLOCATOR_HH
+#define WANIFY_SERVE_ALLOCATOR_HH
+
+#include <map>
+#include <vector>
+
+#include "net/network_sim.hh"
+
+namespace wanify {
+namespace serve {
+
+/** Cross-query sharing policy. */
+enum class AllocPolicy
+{
+    MaxMinFair,
+    WeightedPriority,
+};
+
+const char *allocPolicyName(AllocPolicy policy);
+
+/** One query's appetite on one ordered DC pair. */
+struct PairDemand
+{
+    /** Ordered pair index (Topology::pairIndex). */
+    std::size_t pair = 0;
+
+    /**
+     * Rate the query could usefully consume on the pair (Mbps);
+     * <= 0 means elastic (take any share granted).
+     */
+    Mbps demand = 0.0;
+};
+
+/** One active query's demand set for an allocation round. */
+struct QueryDemand
+{
+    net::FlowGroupId group = 0;
+
+    /** Priority weight (> 0); ignored under MaxMinFair. */
+    double weight = 1.0;
+
+    /** Pairs the query is actively shuffling over, sorted by index. */
+    std::vector<PairDemand> pairs;
+};
+
+/** Outcome of one allocation round. */
+struct Allocation
+{
+    /**
+     * Per-query planning share in (0, 1]: the worst granted
+     * capacity fraction across the query's contended pairs (1 when
+     * it contends nowhere). This is the scalar the fraction search
+     * consumes via StageContext::wanShare, so placement is computed
+     * against the bandwidth the query will actually receive.
+     */
+    std::map<net::FlowGroupId, double> planningShare;
+
+    /** Pairs that received share caps this round. */
+    std::size_t cappedPairs = 0;
+
+    /** (group, pair) share caps installed this round. */
+    std::size_t installedCaps = 0;
+};
+
+class BandwidthAllocator
+{
+  public:
+    explicit BandwidthAllocator(AllocPolicy policy);
+
+    AllocPolicy policy() const { return policy_; }
+
+    /**
+     * Run one allocation round: water-fill every contended pair's
+     * effective capacity among the queries demanding it and install
+     * the shares on @p sim (group weights + per-(group, pair) caps).
+     * Caps from earlier rounds that are no longer warranted are
+     * removed, so the sim's registered allocation state always
+     * mirrors the latest round. Deterministic in (demands, sim
+     * state); queries must be pre-sorted by group id.
+     */
+    Allocation allocate(net::NetworkSim &sim,
+                        const std::vector<QueryDemand> &demands);
+
+    /** Forget a departed query's installed state (weights + caps). */
+    void release(net::NetworkSim &sim, net::FlowGroupId group);
+
+  private:
+    AllocPolicy policy_;
+
+    /** (group, pair) caps currently installed on the sim. */
+    std::map<net::FlowGroupId, std::vector<std::size_t>> installed_;
+};
+
+} // namespace serve
+} // namespace wanify
+
+#endif // WANIFY_SERVE_ALLOCATOR_HH

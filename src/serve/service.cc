@@ -1,0 +1,613 @@
+#include "serve/service.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/error.hh"
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "monitor/features.hh"
+#include "sched/kimchi.hh"
+#include "sched/locality.hh"
+#include "sched/tetrium.hh"
+
+namespace wanify {
+namespace serve {
+
+using net::DcId;
+using net::TransferId;
+
+namespace {
+
+constexpr Seconds kTimeEps = 1.0e-9;
+
+std::unique_ptr<gda::Scheduler>
+makeScheduler(SchedulerKind kind)
+{
+    switch (kind) {
+    case SchedulerKind::Locality:
+        return std::make_unique<sched::LocalityScheduler>();
+    case SchedulerKind::Tetrium:
+        return std::make_unique<sched::TetriumScheduler>();
+    case SchedulerKind::Kimchi:
+        return std::make_unique<sched::KimchiScheduler>();
+    }
+    panicIf(true, "Service: unknown scheduler kind");
+    return nullptr;
+}
+
+/** FNV-1a over raw bytes — the report's bit-identity witness. */
+void
+fnv1a(std::uint64_t &h, const void *data, std::size_t len)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ULL;
+    }
+}
+
+void
+fnv1aU64(std::uint64_t &h, std::uint64_t v)
+{
+    fnv1a(h, &v, sizeof(v));
+}
+
+void
+fnv1aDouble(std::uint64_t &h, double v)
+{
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    fnv1aU64(h, bits);
+}
+
+} // namespace
+
+Service::Service(net::Topology topo, ServiceConfig cfg,
+                 net::NetworkSimConfig simCfg,
+                 const core::Wanify *wanify, std::uint64_t seed)
+    : topo_(std::move(topo)),
+      cfg_(cfg),
+      wanify_(wanify),
+      sim_(topo_, simCfg, seed),
+      rng_(seed ^ 0x5e17ce),
+      allocator_(cfg.policy),
+      gaugedRows_(monitor::kFeatureCount, 1)
+{
+    fatalIf(cfg_.maxConcurrent == 0,
+            "Service: maxConcurrent must be positive");
+    fatalIf(!(cfg_.epoch > 0.0), "Service: epoch must be positive");
+    const std::size_t n = topo_.dcCount();
+    computeRate_.assign(n, 0.0);
+    for (DcId dc = 0; dc < n; ++dc)
+        for (net::VmId v : topo_.dc(dc).vms)
+            computeRate_[dc] += topo_.vm(v).type.computeRate;
+}
+
+void
+Service::submit(QuerySpec spec)
+{
+    fatalIf(draining_, "Service: submit after drain started");
+    fatalIf(spec.job.stages.empty(),
+            "Service: query has no stages");
+    fatalIf(spec.inputByDc.size() != topo_.dcCount(),
+            "Service: input distribution size mismatch");
+    fatalIf(!(spec.weight > 0.0) || !std::isfinite(spec.weight),
+            "Service: query weight must be positive");
+    fatalIf(!(spec.arrival >= 0.0),
+            "Service: arrival must be non-negative");
+
+    QueryState q;
+    q.index = queries_.size();
+    q.group = static_cast<net::FlowGroupId>(q.index + 1);
+    q.outcome.name = spec.name;
+    q.outcome.arrival = spec.arrival;
+    q.spec = std::move(spec);
+    queries_.push_back(std::move(q));
+}
+
+void
+Service::admitDueQueries()
+{
+    const Seconds now = sim_.now();
+    while (nextArrival_ < arrivalOrder_.size() &&
+           active_.size() < cfg_.maxConcurrent) {
+        QueryState &q = queries_[arrivalOrder_[nextArrival_]];
+        if (q.spec.arrival > now + kTimeEps)
+            break;
+        ++nextArrival_;
+
+        q.phase = Phase::Planning;
+        q.stage = 0;
+        q.stageInput = q.spec.inputByDc;
+        q.scheduler = makeScheduler(cfg_.scheduler);
+        // Pin the published predictor now: a service-level retrain
+        // may swap the facade's model at any completion boundary, but
+        // this query's planning evolves only from the pinned snapshot
+        // (the engine's per-run discipline, ported to admission).
+        if (wanify_ != nullptr)
+            q.model = wanify_->predictorSnapshot();
+        q.outcome.admitted = now;
+        q.outcome.queueWait = now - q.spec.arrival;
+        if (q.outcome.queueWait > kTimeEps)
+            ++queuedAdmissions_;
+
+        active_.push_back(q.index);
+        peakConcurrent_ = std::max(peakConcurrent_, active_.size());
+    }
+}
+
+void
+Service::transitionComputedQueries()
+{
+    const Seconds now = sim_.now();
+    for (const std::size_t idx : active_) {
+        QueryState &q = queries_[idx];
+        if (q.phase != Phase::Computing ||
+            q.stageEnd > now + kTimeEps)
+            continue;
+        const gda::StageSpec &spec = q.spec.job.stages[q.stage];
+        std::vector<Bytes> next(topo_.dcCount(), 0.0);
+        for (DcId j = 0; j < topo_.dcCount(); ++j) {
+            Bytes atJ = 0.0;
+            for (DcId i = 0; i < topo_.dcCount(); ++i)
+                atJ += q.assignment.at(i, j);
+            next[j] = atJ * spec.selectivity;
+        }
+        q.stageInput = std::move(next);
+        ++q.stage;
+        if (q.stage >= q.spec.job.stages.size())
+            finishQuery(q, q.stageEnd, false);
+        else
+            q.phase = Phase::Planning;
+    }
+    active_.erase(std::remove_if(active_.begin(), active_.end(),
+                                 [&](std::size_t idx) {
+                                     return queries_[idx].phase ==
+                                            Phase::Done;
+                                 }),
+                  active_.end());
+}
+
+void
+Service::planAndLaunch()
+{
+    std::vector<std::size_t> planning;
+    for (const std::size_t idx : active_)
+        if (queries_[idx].phase == Phase::Planning)
+            planning.push_back(idx);
+    if (planning.empty())
+        return;
+
+    const std::size_t n = topo_.dcCount();
+
+    // One shared capacity snapshot per round, taken on the control
+    // thread: the cheap stand-in for the measurement plane's 1-second
+    // snapshot, read once so the parallel planners never touch the
+    // simulator.
+    Matrix<Mbps> snapshot = Matrix<Mbps>::square(n, 0.0);
+    for (DcId i = 0; i < n; ++i)
+        for (DcId j = 0; j < n; ++j)
+            snapshot.at(i, j) =
+                i == j ? 0.0 : sim_.effectivePathCap(i, j);
+
+    // A-priori share estimate for planning: the fraction of each
+    // contended link this query would win if every active query
+    // contended everywhere — exact under full overlap, conservative
+    // under partial overlap. The allocator's water-fill then sets the
+    // enforced shares from the transfers actually started.
+    double weightSum = 0.0;
+    for (const std::size_t idx : active_)
+        weightSum += cfg_.policy == AllocPolicy::WeightedPriority
+                         ? queries_[idx].spec.weight
+                         : 1.0;
+
+    // Placement, prediction, and connection planning are pure in the
+    // query's own state, so the fan-out is deterministic: work is
+    // assigned by index and each worker writes only its query.
+    ThreadPool::global().parallelFor(
+        planning.size(), [&](std::size_t k) {
+            QueryState &q = queries_[planning[k]];
+            const double w =
+                cfg_.policy == AllocPolicy::WeightedPriority
+                    ? q.spec.weight
+                    : 1.0;
+            q.share = weightSum > 0.0 ? w / weightSum : 1.0;
+            q.outcome.minPlanningShare =
+                std::min(q.outcome.minPlanningShare, q.share);
+
+            if (q.model != nullptr && q.model->trained())
+                q.believedBw =
+                    q.model->predictMatrix(topo_, snapshot);
+            else
+                q.believedBw = snapshot;
+
+            gda::StageContext ctx = gda::makeStageContext(
+                topo_, q.spec.job, q.stage, q.stageInput,
+                q.believedBw);
+            ctx.wanShare = q.share;
+            q.assignment = q.scheduler->placeStage(ctx);
+            panicIf(q.assignment.rows() != n ||
+                        q.assignment.cols() != n,
+                    "Service: scheduler assignment shape mismatch");
+
+            // Heterogeneous parallelism from the global optimizer
+            // (the engine's global-only shape — per-query local
+            // agents have no place on a shared mesh).
+            if (wanify_ != nullptr && q.model != nullptr &&
+                q.model->trained())
+                q.connections =
+                    wanify_->plan(q.believedBw).maxCons;
+            else
+                q.connections = Matrix<int>::square(n, 1);
+        });
+
+    // Transfers start sequentially, in query order, on the control
+    // thread — the shared simulator is single-writer.
+    const Seconds now = sim_.now();
+    for (const std::size_t idx : planning) {
+        QueryState &q = queries_[idx];
+        q.stageShuffleStart = now;
+        q.transferDone.assign(n, now);
+        q.pending.clear();
+        for (DcId i = 0; i < n; ++i) {
+            for (DcId j = 0; j < n; ++j) {
+                const Bytes bytes = q.assignment.at(i, j);
+                if (i == j || bytes < 1.0)
+                    continue;
+                const int conns =
+                    std::max(1, q.connections.at(i, j));
+                const TransferId id = sim_.startTransfer(
+                    gda::shuffleEndpointVm(topo_, i),
+                    gda::shuffleEndpointVm(topo_, j), bytes, conns,
+                    q.group);
+                ActiveTransfer t;
+                t.src = i;
+                t.dst = j;
+                t.bytes = bytes;
+                t.started = now;
+                t.expected = units::transferTime(
+                    bytes,
+                    std::max(1.0, q.believedBw.at(i, j) * q.share));
+                t.connections = conns;
+                q.pending[id] = t;
+                q.outcome.wanBytes += bytes;
+            }
+        }
+        if (q.pending.empty())
+            enterComputePhase(q);
+        else
+            q.phase = Phase::Shuffling;
+    }
+}
+
+void
+Service::runAllocationRound()
+{
+    std::vector<QueryDemand> demands;
+    for (const std::size_t idx : active_) {
+        QueryState &q = queries_[idx];
+        if (q.phase != Phase::Shuffling || q.pending.empty())
+            continue;
+        QueryDemand d;
+        d.group = q.group;
+        d.weight = q.spec.weight;
+        for (const auto &[id, t] : q.pending) {
+            const std::size_t pair = topo_.pairIndex(t.src, t.dst);
+            // Elastic demand: a shuffle takes any rate granted.
+            if (d.pairs.empty() || d.pairs.back().pair != pair)
+                d.pairs.push_back({pair, 0.0});
+        }
+        std::sort(d.pairs.begin(), d.pairs.end(),
+                  [](const PairDemand &a, const PairDemand &b) {
+                      return a.pair < b.pair;
+                  });
+        d.pairs.erase(
+            std::unique(d.pairs.begin(), d.pairs.end(),
+                        [](const PairDemand &a, const PairDemand &b) {
+                            return a.pair == b.pair;
+                        }),
+            d.pairs.end());
+        demands.push_back(std::move(d));
+    }
+    // Admission follows arrival order, not submission order, so the
+    // demand list needs the allocator's canonical group order before
+    // the round runs.
+    std::sort(demands.begin(), demands.end(),
+              [](const QueryDemand &a, const QueryDemand &b) {
+                  return a.group < b.group;
+              });
+    const Allocation alloc = allocator_.allocate(sim_, demands);
+    cappedPairRounds_ += alloc.cappedPairs;
+    for (const auto &[group, share] : alloc.planningShare) {
+        QueryState &q = queries_[static_cast<std::size_t>(group) - 1];
+        q.outcome.minPlanningShare =
+            std::min(q.outcome.minPlanningShare, share);
+    }
+}
+
+void
+Service::routeCompletions()
+{
+    for (const net::CompletionRecord &rec : sim_.drainCompletions()) {
+        // Completions are sparse relative to active queries; the
+        // linear owner scan is far from the hot path (the flow
+        // solver is).
+        for (const std::size_t idx : active_) {
+            QueryState &q = queries_[idx];
+            auto it = q.pending.find(rec.id);
+            if (it == q.pending.end())
+                continue;
+            q.transferDone[it->second.dst] = std::max(
+                q.transferDone[it->second.dst], rec.time);
+            q.pending.erase(it);
+            if (q.phase == Phase::Shuffling && q.pending.empty())
+                enterComputePhase(q);
+            break;
+        }
+    }
+}
+
+void
+Service::enterComputePhase(QueryState &q)
+{
+    const gda::StageSpec &spec = q.spec.job.stages[q.stage];
+    Seconds stageEnd = sim_.now();
+    for (DcId j = 0; j < topo_.dcCount(); ++j) {
+        Bytes atJ = 0.0;
+        for (DcId i = 0; i < topo_.dcCount(); ++i)
+            atJ += q.assignment.at(i, j);
+        const double rate = std::max(1.0e-9, computeRate_[j]);
+        const Seconds compute =
+            units::toMegabytes(atJ) * spec.workPerMb / rate;
+        stageEnd =
+            std::max(stageEnd, q.transferDone[j] + compute);
+    }
+    q.stageEnd = stageEnd;
+    q.phase = Phase::Computing;
+    // The query's WAN appetite is gone; free its share for the rest.
+    allocator_.release(sim_, q.group);
+}
+
+void
+Service::checkStragglersAndGuards()
+{
+    const Seconds now = sim_.now();
+    for (const std::size_t idx : active_) {
+        QueryState &q = queries_[idx];
+
+        if (now - q.outcome.admitted > cfg_.maxQuerySeconds) {
+            logging::warn("service: query '" + q.spec.name +
+                          "' hit the per-query guard");
+            for (const auto &[id, t] : q.pending)
+                sim_.stopTransfer(id);
+            q.pending.clear();
+            finishQuery(q, now, true);
+            continue;
+        }
+
+        if (cfg_.stragglerFactor <= 0.0 ||
+            q.phase != Phase::Shuffling)
+            continue;
+
+        // Re-dispatch transfers that overshot their plan: stop the
+        // flow and restart the remainder with doubled connections —
+        // the classic speculative-retry answer to a path that turned
+        // out far slower than the predictor believed.
+        std::vector<std::pair<TransferId, ActiveTransfer>> retry;
+        for (const auto &[id, t] : q.pending) {
+            const Seconds budget =
+                cfg_.stragglerFactor *
+                std::max(cfg_.epoch, t.expected);
+            if (!t.redispatched && now - t.started > budget)
+                retry.push_back({id, t});
+        }
+        for (auto &[id, t] : retry) {
+            const net::TransferStatus st = sim_.status(id);
+            const Bytes remaining = st.bytesRemaining;
+            sim_.stopTransfer(id);
+            q.pending.erase(id);
+            if (remaining < 1.0)
+                continue;
+            const int conns =
+                std::min(cfg_.maxRedispatchConnections,
+                         std::max(1, t.connections * 2));
+            const TransferId fresh = sim_.startTransfer(
+                gda::shuffleEndpointVm(topo_, t.src),
+                gda::shuffleEndpointVm(topo_, t.dst), remaining,
+                conns, q.group);
+            ActiveTransfer nt = t;
+            nt.bytes = remaining;
+            nt.started = now;
+            nt.connections = conns;
+            nt.redispatched = true;
+            q.pending[fresh] = nt;
+            ++q.outcome.redispatches;
+            q.outcome.wanBytes += remaining;
+        }
+        if (q.phase == Phase::Shuffling && q.pending.empty())
+            enterComputePhase(q);
+    }
+    active_.erase(std::remove_if(active_.begin(), active_.end(),
+                                 [&](std::size_t idx) {
+                                     return queries_[idx].phase ==
+                                            Phase::Done;
+                                 }),
+                  active_.end());
+}
+
+void
+Service::maybeRetrain()
+{
+    if (cfg_.retrainEveryCompleted == 0 || wanify_ == nullptr ||
+        completedSinceRetrain_ < cfg_.retrainEveryCompleted)
+        return;
+    const auto published = wanify_->predictorSnapshot();
+    if (published == nullptr || !published->trained())
+        return;
+    completedSinceRetrain_ = 0;
+
+    // Gauge the live mesh (snapshot + one epoch of stable BW): real
+    // measurement flows on the shared simulator, so adapting costs
+    // the tenants bandwidth exactly as it would in production.
+    const auto gauge = wanify_->gaugeRuntime(sim_, rng_, *published);
+    core::CollectedMesh mesh;
+    mesh.clusterSize = topo_.dcCount();
+    mesh.snapshotBw = gauge.snapshot;
+    mesh.stableBw = gauge.stable;
+    core::BandwidthAnalyzer::appendRows(gaugedRows_, topo_, mesh,
+                                        rng_);
+
+    std::uint64_t state =
+        0x5e12feedULL ^ (retrainsPublished_ + 1);
+    wanify_->retrain(gaugedRows_, splitmix64(state), published,
+                     /*publish=*/true);
+    ++retrainsPublished_;
+}
+
+void
+Service::finishQuery(QueryState &q, Seconds at, bool timedOut)
+{
+    q.phase = Phase::Done;
+    q.outcome.finished = at;
+    q.outcome.latency = at - q.outcome.admitted;
+    q.outcome.stages = q.stage;
+    q.outcome.timedOut = timedOut;
+    allocator_.release(sim_, q.group);
+    ++completedSinceRetrain_;
+}
+
+ServiceReport
+Service::buildReport() const
+{
+    ServiceReport report;
+    report.peakConcurrent = peakConcurrent_;
+    report.queuedAdmissions = queuedAdmissions_;
+    report.retrainsPublished = retrainsPublished_;
+    report.cappedPairRounds = cappedPairRounds_;
+
+    Seconds firstAdmitted = 0.0, lastFinished = 0.0;
+    double xSum = 0.0, x2Sum = 0.0;
+    std::size_t wanActive = 0;
+    std::uint64_t hash = 1469598103934665603ULL; // FNV offset basis
+
+    for (const QueryState &q : queries_) {
+        report.queries.push_back(q.outcome);
+        if (q.outcome.timedOut) {
+            ++report.timedOut;
+        } else {
+            ++report.completed;
+            if (report.completed == 1 ||
+                q.outcome.admitted < firstAdmitted)
+                firstAdmitted = q.outcome.admitted;
+            lastFinished =
+                std::max(lastFinished, q.outcome.finished);
+            if (q.outcome.wanBytes > 0.0 &&
+                q.outcome.latency > 0.0) {
+                const double x =
+                    q.outcome.wanBytes / q.outcome.latency;
+                xSum += x;
+                x2Sum += x * x;
+                ++wanActive;
+            }
+        }
+        report.redispatches += q.outcome.redispatches;
+
+        fnv1aU64(hash, q.index);
+        fnv1aDouble(hash, q.outcome.latency);
+        fnv1aDouble(hash, q.outcome.wanBytes);
+        fnv1aU64(hash, q.outcome.redispatches);
+        fnv1aU64(hash, q.outcome.stages);
+        fnv1aU64(hash, q.outcome.timedOut ? 1 : 0);
+    }
+
+    if (report.completed > 0) {
+        report.makespan = lastFinished - firstAdmitted;
+        if (report.makespan > 0.0)
+            report.throughputPerHour =
+                static_cast<double>(report.completed) * 3600.0 /
+                report.makespan;
+    }
+    if (wanActive > 0 && x2Sum > 0.0)
+        report.jainFairness =
+            (xSum * xSum) /
+            (static_cast<double>(wanActive) * x2Sum);
+    report.resultHash = hash;
+    return report;
+}
+
+ServiceReport
+Service::drain()
+{
+    fatalIf(draining_, "Service: drain is single-shot");
+    draining_ = true;
+
+    arrivalOrder_.resize(queries_.size());
+    for (std::size_t i = 0; i < queries_.size(); ++i)
+        arrivalOrder_[i] = i;
+    std::sort(arrivalOrder_.begin(), arrivalOrder_.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (queries_[a].spec.arrival !=
+                      queries_[b].spec.arrival)
+                      return queries_[a].spec.arrival <
+                             queries_[b].spec.arrival;
+                  return a < b; // FIFO among simultaneous arrivals
+              });
+
+    while (!active_.empty() ||
+           nextArrival_ < arrivalOrder_.size()) {
+        admitDueQueries();
+
+        if (active_.empty()) {
+            // Fully idle: fast-forward to the next arrival.
+            const Seconds at =
+                queries_[arrivalOrder_[nextArrival_]].spec.arrival;
+            if (at > sim_.now())
+                sim_.advanceBy(at - sim_.now());
+            continue;
+        }
+
+        transitionComputedQueries();
+        planAndLaunch();
+        runAllocationRound();
+
+        // Advance to the next control-plane event: the epoch
+        // boundary, the earliest compute end, or the next arrival
+        // (when a slot is free to take it). Transfer completions
+        // inside the window are located exactly by the simulator.
+        const Seconds now = sim_.now();
+        Seconds target = now + cfg_.epoch;
+        for (const std::size_t idx : active_) {
+            const QueryState &q = queries_[idx];
+            if (q.phase == Phase::Computing)
+                target = std::min(target,
+                                  std::max(now + kTimeEps,
+                                           q.stageEnd));
+        }
+        if (active_.size() < cfg_.maxConcurrent &&
+            nextArrival_ < arrivalOrder_.size()) {
+            const Seconds at =
+                queries_[arrivalOrder_[nextArrival_]].spec.arrival;
+            target =
+                std::min(target, std::max(now + kTimeEps, at));
+        }
+        if (target <= now + kTimeEps)
+            target = now + cfg_.epoch;
+
+        if (sim_.activeTransferCount() > 0)
+            sim_.runUntilAllComplete(target);
+        else
+            sim_.advanceBy(target - now);
+
+        routeCompletions();
+        checkStragglersAndGuards();
+        transitionComputedQueries();
+        maybeRetrain();
+    }
+
+    return buildReport();
+}
+
+} // namespace serve
+} // namespace wanify

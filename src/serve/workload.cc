@@ -1,0 +1,79 @@
+#include "serve/workload.hh"
+
+#include <cmath>
+
+#include "common/error.hh"
+#include "common/rng.hh"
+#include "workloads/tpcds.hh"
+
+namespace wanify {
+namespace serve {
+
+std::vector<QuerySpec>
+mixedWorkload(const WorkloadConfig &cfg, std::size_t dcCount,
+              std::uint64_t seed)
+{
+    fatalIf(dcCount == 0, "mixedWorkload: empty cluster");
+    fatalIf(cfg.heavyFraction < 0.0 || cfg.heavyFraction > 1.0,
+            "mixedWorkload: heavyFraction out of range");
+
+    Rng rng(seed ^ 0x5e19e0ULL);
+    std::vector<QuerySpec> out;
+    out.reserve(cfg.queries);
+
+    const workloads::TpcDsQuery heavies[] = {
+        workloads::TpcDsQuery::Q82, workloads::TpcDsQuery::Q95,
+        workloads::TpcDsQuery::Q11};
+
+    for (std::size_t i = 0; i < cfg.queries; ++i) {
+        QuerySpec q;
+        q.arrival = rng.uniform(0.0, cfg.arrivalWindow);
+        q.weight = rng.uniform() < cfg.priorityFraction ? 4.0 : 1.0;
+
+        if (rng.uniform() < cfg.heavyFraction) {
+            // Heavy analytics job: one of the paper's lighter TPC-DS
+            // proxies over a skewed multi-DC input (heaviest where
+            // ingest lands, decaying with DC index).
+            const auto which = heavies[static_cast<std::size_t>(
+                rng.uniformInt(0, 2))];
+            q.job = workloads::tpcDsQuery(which, cfg.heavyInputGb);
+            q.name = "q" + std::to_string(i) + "-heavy-" +
+                     workloads::queryName(which);
+            std::vector<double> frac(dcCount, 0.0);
+            double sum = 0.0;
+            for (std::size_t d = 0; d < dcCount; ++d) {
+                frac[d] = std::pow(0.6, static_cast<double>(d));
+                sum += frac[d];
+            }
+            q.inputByDc.assign(dcCount, 0.0);
+            for (std::size_t d = 0; d < dcCount; ++d)
+                q.inputByDc[d] =
+                    q.job.inputBytes * frac[d] / sum;
+        } else {
+            // Small interactive query: one scan/aggregate stage whose
+            // input sits wholly at one DC — at most dcCount - 1
+            // shuffle transfers, usually far fewer, which keeps the
+            // shared solver's flow count proportional to admitted
+            // queries rather than to queries x pairs.
+            gda::StageSpec stage;
+            stage.name = "scan-agg";
+            stage.selectivity = 0.05;
+            stage.workPerMb = 0.05;
+            q.job.name = "small";
+            q.job.stages.push_back(stage);
+            q.job.inputBytes = cfg.smallInputGb * 1.0e9;
+            q.name = "q" + std::to_string(i) + "-small";
+            const std::size_t src = static_cast<std::size_t>(
+                rng.uniformInt(0,
+                               static_cast<std::int64_t>(dcCount) -
+                                   1));
+            q.inputByDc.assign(dcCount, 0.0);
+            q.inputByDc[src] = q.job.inputBytes;
+        }
+        out.push_back(std::move(q));
+    }
+    return out;
+}
+
+} // namespace serve
+} // namespace wanify

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Deterministic mixed multi-query workloads for the serve layer.
+ *
+ * A realistic service mix is mostly small interactive queries with a
+ * minority of heavy analytics jobs: the small ones are single-stage
+ * scan/aggregate proxies whose input sits at one DC, the heavy ones
+ * are the paper's TPC-DS query proxies over a skewed multi-DC input.
+ * One seeded generator is shared by the wanify-serve CLI, the serve
+ * perf bench, and the tests so "N queries" means the same workload
+ * everywhere — and so the bit-identity checks compare like with like.
+ */
+
+#ifndef WANIFY_SERVE_WORKLOAD_HH
+#define WANIFY_SERVE_WORKLOAD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/service.hh"
+
+namespace wanify {
+namespace serve {
+
+/** Mix shape for mixedWorkload. */
+struct WorkloadConfig
+{
+    std::size_t queries = 256;
+
+    /** Fraction of heavy (TPC-DS proxy) queries. */
+    double heavyFraction = 0.08;
+
+    /** Fraction of weight-4 priority queries (rest weigh 1). */
+    double priorityFraction = 0.2;
+
+    /** Arrivals fall uniformly in [0, arrivalWindow) seconds. */
+    Seconds arrivalWindow = 60.0;
+
+    /** Input size of a small query (GB). */
+    double smallInputGb = 1.0;
+
+    /** Input size of a heavy query (GB). */
+    double heavyInputGb = 20.0;
+};
+
+/**
+ * Generate the mixed workload deterministically from @p seed for a
+ * @p dcCount-DC cluster. Queries come back in submission order with
+ * assigned arrivals, weights, and input distributions.
+ */
+std::vector<QuerySpec> mixedWorkload(const WorkloadConfig &cfg,
+                                     std::size_t dcCount,
+                                     std::uint64_t seed);
+
+} // namespace serve
+} // namespace wanify
+
+#endif // WANIFY_SERVE_WORKLOAD_HH

@@ -130,6 +130,78 @@ TEST(ThreadPool, NestedParallelForCompletes)
     EXPECT_EQ(calls.load(), 32);
 }
 
+TEST(ThreadPool, ReentrantSubmissionOnSamedPoolCoversEveryIndex)
+{
+    // The serve loop's shape: work submitted to the SAME pool from
+    // inside one of its own batches (not via a second pool). Every
+    // (outer, inner) pair must run exactly once, with no deadlock
+    // even though outer tasks outnumber the threads.
+    ThreadPool pool(3);
+    constexpr std::size_t kOuter = 8, kInner = 8;
+    std::vector<std::atomic<int>> hits(kOuter * kInner);
+    for (auto &h : hits)
+        h.store(0);
+    pool.parallelFor(kOuter, [&](std::size_t o) {
+        pool.parallelFor(kInner, [&](std::size_t i) {
+            hits[o * kInner + i].fetch_add(1);
+        });
+    });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, DeeplyNestedSubmissionCompletes)
+{
+    // Three levels of re-entrant submission on one pool: each level's
+    // caller must drain its own batch regardless of which thread runs
+    // it, so depth cannot exhaust the workers.
+    ThreadPool pool(2);
+    std::atomic<int> calls{0};
+    pool.parallelFor(3, [&](std::size_t) {
+        pool.parallelFor(3, [&](std::size_t) {
+            pool.parallelFor(3,
+                             [&](std::size_t) { calls.fetch_add(1); });
+        });
+    });
+    EXPECT_EQ(calls.load(), 27);
+}
+
+TEST(ThreadPool, NestedExceptionPropagatesAndPoolSurvives)
+{
+    ThreadPool pool(2);
+    // An inner batch throws on a worker thread; the inner parallelFor
+    // rethrows it inside the outer task, and the outer parallelFor
+    // surfaces it to the original caller.
+    EXPECT_THROW(
+        pool.parallelFor(4,
+                         [&](std::size_t o) {
+                             pool.parallelFor(4, [&](std::size_t i) {
+                                 if (o == 1 && i == 2)
+                                     throw std::runtime_error("inner");
+                             });
+                         }),
+        std::runtime_error);
+    // Both nesting levels drained: the pool accepts new batches.
+    std::atomic<int> calls{0};
+    pool.parallelFor(4, [&](std::size_t) {
+        pool.parallelFor(4, [&](std::size_t) { calls.fetch_add(1); });
+    });
+    EXPECT_EQ(calls.load(), 16);
+}
+
+TEST(ThreadPool, SaturatedNestedSubmissionMakesProgress)
+{
+    // Far more in-flight nested batches than threads: progress relies
+    // on callers executing work items themselves, never on a free
+    // worker existing.
+    ThreadPool pool(2);
+    std::atomic<int> calls{0};
+    pool.parallelFor(32, [&](std::size_t) {
+        pool.parallelFor(16, [&](std::size_t) { calls.fetch_add(1); });
+    });
+    EXPECT_EQ(calls.load(), 512);
+}
+
 TEST(Rng, DeriveSeedsAvoidsAdjacentBaseCollisions)
 {
     // Regression for the old `base + 7919 * t` scheme, where e.g.

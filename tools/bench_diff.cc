@@ -1,22 +1,30 @@
 /**
  * @file
- * Perf-trajectory diff gate: compares a freshly produced BENCH_*.json
- * against the committed baseline and fails on regression.
+ * Perf-trajectory diff gate: compares freshly produced BENCH_*.json
+ * files against their committed baselines and fails on regression.
  *
  * The BENCH files carry two kinds of metric: absolute wall-clock
  * values (machine-dependent — meaningless to compare across a dev box
- * and a CI runner) and speedup ratios (algorithm-vs-algorithm on the
- * same machine, comparable anywhere). By default only the `speedup_*`
- * keys are gated, higher-is-better, with a 25% relative tolerance:
- * a fresh speedup below baseline * (1 - tolerance) fails, and so does
- * a gated baseline key missing from the fresh file (a silently
- * dropped measurement is how trajectories rot). Improvements always
- * pass and should be locked in by committing the fresh file as the
- * new baseline.
+ * and a CI runner) and ratio/score metrics (algorithm-vs-algorithm on
+ * the same machine, or virtual-time service metrics — comparable
+ * anywhere). Only keys matching a gated prefix are compared,
+ * higher-is-better, with a 25% relative tolerance by default: a fresh
+ * value below baseline * (1 - tolerance) fails, and so does a gated
+ * baseline key missing from the fresh file (a silently dropped
+ * measurement is how trajectories rot). Improvements always pass and
+ * should be locked in by committing the fresh file as the new
+ * baseline.
  *
  * Usage:
  *   wanify-bench-diff <baseline.json> <fresh.json>
- *                     [--max-regress 0.25] [--prefix speedup_]
+ *                     [<baseline2.json> <fresh2.json> ...]
+ *                     [--max-regress 0.25] [--prefix speedup_,serve_]
+ *
+ * Any even number of positional (baseline, fresh) pairs is accepted,
+ * so one invocation gates the whole trajectory — inference, training,
+ * and serve — in a single CI step; the exit code is nonzero if any
+ * pair regressed. --prefix takes a comma-separated list of gated key
+ * prefixes applied to every pair.
  *
  * The parser understands exactly the flat `"results": { "key":
  * number, ... }` object the bench binaries emit — no JSON library
@@ -122,54 +130,53 @@ find(const std::vector<Metric> &metrics, const std::string &name)
     return nullptr;
 }
 
-} // namespace
-
-int
-main(int argc, char **argv)
+/** Split a comma-separated prefix list; empty entries dropped. */
+std::vector<std::string>
+splitPrefixes(const std::string &list)
 {
-    const char *baselinePath = nullptr;
-    const char *freshPath = nullptr;
-    double maxRegress = 0.25;
-    std::string prefix = "speedup_";
-    for (int a = 1; a < argc; ++a) {
-        if (std::strcmp(argv[a], "--max-regress") == 0 &&
-            a + 1 < argc) {
-            maxRegress = std::atof(argv[++a]);
-        } else if (std::strcmp(argv[a], "--prefix") == 0 &&
-                   a + 1 < argc) {
-            prefix = argv[++a];
-        } else if (baselinePath == nullptr) {
-            baselinePath = argv[a];
-        } else if (freshPath == nullptr) {
-            freshPath = argv[a];
-        } else {
-            std::fprintf(stderr,
-                         "usage: %s <baseline.json> <fresh.json> "
-                         "[--max-regress 0.25] [--prefix speedup_]\n",
-                         argv[0]);
-            return 2;
-        }
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::size_t end =
+            comma == std::string::npos ? list.size() : comma;
+        if (end > pos)
+            out.push_back(list.substr(pos, end - pos));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
     }
-    if (baselinePath == nullptr || freshPath == nullptr) {
-        std::fprintf(stderr,
-                     "usage: %s <baseline.json> <fresh.json> "
-                     "[--max-regress 0.25] [--prefix speedup_]\n",
-                     argv[0]);
-        return 2;
-    }
-    if (maxRegress <= 0.0 || maxRegress >= 1.0) {
-        std::fprintf(stderr, "--max-regress must be in (0, 1)\n");
-        return 2;
-    }
+    return out;
+}
 
+bool
+matchesAny(const std::string &name,
+           const std::vector<std::string> &prefixes)
+{
+    for (const auto &p : prefixes)
+        if (name.compare(0, p.size(), p) == 0)
+            return true;
+    return false;
+}
+
+/**
+ * Gate one (baseline, fresh) pair. Returns the number of
+ * regressions; exits with status 2 when the pair gates nothing (a
+ * misconfigured prefix must not silently pass).
+ */
+int
+diffPair(const char *baselinePath, const char *freshPath,
+         const std::vector<std::string> &prefixes, double maxRegress)
+{
     const auto baseline =
         parseResults(readFile(baselinePath), baselinePath);
     const auto fresh = parseResults(readFile(freshPath), freshPath);
 
+    std::printf("== %s vs %s\n", baselinePath, freshPath);
     int regressions = 0;
     std::size_t gated = 0;
     for (const auto &base : baseline) {
-        if (base.name.compare(0, prefix.size(), prefix) != 0)
+        if (!matchesAny(base.name, prefixes))
             continue;
         ++gated;
         const Metric *now = find(fresh, base.name);
@@ -193,19 +200,72 @@ main(int argc, char **argv)
     }
     if (gated == 0) {
         std::fprintf(stderr,
-                     "no baseline keys match prefix \"%s\" — "
+                     "%s: no baseline keys match any gated prefix — "
                      "nothing gated\n",
-                     prefix.c_str());
+                     baselinePath);
+        std::exit(2);
+    }
+    return regressions;
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <baseline.json> <fresh.json> "
+                 "[<baseline2.json> <fresh2.json> ...]\n"
+                 "       [--max-regress 0.25] "
+                 "[--prefix speedup_,serve_]\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<const char *> paths;
+    double maxRegress = 0.25;
+    std::string prefixList = "speedup_";
+    for (int a = 1; a < argc; ++a) {
+        if (std::strcmp(argv[a], "--max-regress") == 0 &&
+            a + 1 < argc) {
+            maxRegress = std::atof(argv[++a]);
+        } else if (std::strcmp(argv[a], "--prefix") == 0 &&
+                   a + 1 < argc) {
+            prefixList = argv[++a];
+        } else {
+            paths.push_back(argv[a]);
+        }
+    }
+    if (paths.empty() || paths.size() % 2 != 0)
+        return usage(argv[0]);
+    if (maxRegress <= 0.0 || maxRegress >= 1.0) {
+        std::fprintf(stderr, "--max-regress must be in (0, 1)\n");
         return 2;
     }
+    const std::vector<std::string> prefixes =
+        splitPrefixes(prefixList);
+    if (prefixes.empty()) {
+        std::fprintf(stderr, "--prefix list is empty\n");
+        return 2;
+    }
+
+    int regressions = 0;
+    for (std::size_t p = 0; p + 1 < paths.size(); p += 2)
+        regressions +=
+            diffPair(paths[p], paths[p + 1], prefixes, maxRegress);
+
     if (regressions > 0) {
         std::fprintf(stderr,
-                     "%d metric(s) regressed more than %.0f%% vs %s\n",
-                     regressions, maxRegress * 100.0, baselinePath);
+                     "%d metric(s) regressed more than %.0f%% vs "
+                     "baseline\n",
+                     regressions, maxRegress * 100.0);
         return 1;
     }
-    std::printf("perf trajectory ok: %zu metric(s) within %.0f%% of "
-                "baseline\n",
-                gated, maxRegress * 100.0);
+    std::printf("perf trajectory ok: %zu file pair(s) within %.0f%% "
+                "of baseline\n",
+                paths.size() / 2, maxRegress * 100.0);
     return 0;
 }
