@@ -9,6 +9,7 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "monitor/features.hh"
+#include "scenario/forecast.hh"
 #include "scenario/scenario.hh"
 
 namespace wanify {
@@ -316,6 +317,28 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
     std::vector<Bytes> stageInput = inputByDc;
     bool sawWanTraffic = false;
 
+    // Forecast-aware planning state: warm-start memory for the
+    // fraction-search schedulers (per run, because scheduler
+    // instances are shared across parallel trials and must stay
+    // stateless) and the gauge trend that backs deployed-mode
+    // forecasts when no dynamics timetable exists.
+    PlanMemory planMemory;
+    core::GaugeTrend trend;
+    if (opts.wanify != nullptr && !predicted.empty())
+        trend.record(sim.now(), predicted);
+    auto buildForecast = [&]() -> core::BwForecast {
+        if (!opts.forecast.enabled)
+            return {};
+        if (opts.dynamics != nullptr)
+            return scenario::forecastFromDynamics(
+                *opts.dynamics, opts.schedulerBw, sim.now(),
+                opts.forecast);
+        if (trend.ready())
+            return trend.forecast(sim.now(), opts.forecast.horizon,
+                                  opts.forecast.step);
+        return {};
+    };
+
     // The online learning loop (Section 3.3.4), invoked when the
     // drift gauge fires under adaptOnDrift: clear the stale
     // throttles, gauge the live network (snapshot + one epoch of
@@ -326,8 +349,15 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
     // ControlProbe brackets the whole window so the probes bill to
     // WANify's control plane, not the query.
     auto retrainAndRedeploy =
-        [&](const std::map<TransferId, PendingTransfer> &pending,
+        [&](std::map<TransferId, PendingTransfer> &pending,
+            Matrix<Bytes> &assignment, std::size_t stageIdx,
+            std::vector<PendingTransfer> &retired,
             Seconds &nextEpoch) {
+            // Scoped so the probe settles its control-plane bill
+            // before any re-planned transfer starts; a transfer
+            // opened inside the window would otherwise be misread
+            // as probe traffic.
+            {
             deployment.clear(sim);
             const ControlProbe probe(sim, dynamics, pending,
                                      controlBytes);
@@ -396,6 +426,66 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
                 agent->applyTargets();
                 agent->resetWindow();
             }
+            }
+            trend.record(sim.now(), predicted);
+
+            // Incremental re-plan: stop what is still in flight,
+            // re-place only the undelivered bytes under the
+            // retrained belief (warm-started from this stage's
+            // previous plan), and restart. Delivered bytes stay
+            // where they landed; the effective assignment matrix is
+            // updated so the compute phase and the next stage's
+            // input see the true landing spots.
+            if (opts.forecast.enabled && opts.replanOnRetrain) {
+                std::vector<Bytes> residual(n, 0.0);
+                std::vector<TransferId> liveIds;
+                for (const auto &[id, t] : pending) {
+                    const auto st = sim.status(id);
+                    if (!st.exists || st.done ||
+                        st.bytesRemaining < 1.0)
+                        continue;
+                    residual[t.src] += st.bytesRemaining;
+                    liveIds.push_back(id);
+                }
+                if (!liveIds.empty()) {
+                    for (const TransferId id : liveIds) {
+                        const auto st = sim.status(id);
+                        PendingTransfer part = pending.at(id);
+                        assignment.at(part.src, part.dst) -=
+                            st.bytesRemaining;
+                        part.bytes = st.bytesMoved;
+                        part.done = sim.now();
+                        sim.stopTransfer(id);
+                        retired.push_back(part);
+                        pending.erase(id);
+                    }
+                    StageContext rctx = makeContext(
+                        job, stageIdx, residual, opts.schedulerBw);
+                    rctx.memory = &planMemory;
+                    const core::BwForecast fc = buildForecast();
+                    if (!fc.empty()) {
+                        rctx.forecast = &fc;
+                        rctx.planTime = sim.now();
+                    }
+                    const Matrix<Bytes> replaced =
+                        scheduler.placeStage(rctx);
+                    for (DcId i = 0; i < n; ++i) {
+                        for (DcId j = 0; j < n; ++j) {
+                            const Bytes bytes = replaced.at(i, j);
+                            if (bytes < 1.0)
+                                continue;
+                            assignment.at(i, j) += bytes;
+                            if (i == j)
+                                continue;
+                            const TransferId id = sim.startTransfer(
+                                shuffleEndpointVm(topo_, i),
+                                shuffleEndpointVm(topo_, j), bytes,
+                                connectionsFor(i, j));
+                            pending[id] = {i, j, bytes, 0.0};
+                        }
+                    }
+                }
+            }
             nextEpoch = sim.now();
         };
 
@@ -405,14 +495,21 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
         stageResult.name = spec.name;
         stageResult.start = sim.now();
 
-        const StageContext ctx =
+        StageContext ctx =
             makeContext(job, s, stageInput, opts.schedulerBw);
-        const Matrix<Bytes> assignment = scheduler.placeStage(ctx);
+        ctx.memory = &planMemory;
+        const core::BwForecast stageForecast = buildForecast();
+        if (!stageForecast.empty()) {
+            ctx.forecast = &stageForecast;
+            ctx.planTime = sim.now();
+        }
+        Matrix<Bytes> assignment = scheduler.placeStage(ctx);
         fatalIf(assignment.rows() != n || assignment.cols() != n,
                 "Engine::run: scheduler assignment shape mismatch");
 
         // --- shuffle phase ------------------------------------------------
         std::map<TransferId, PendingTransfer> pending;
+        std::vector<PendingTransfer> retired;
         for (DcId i = 0; i < n; ++i) {
             for (DcId j = 0; j < n; ++j) {
                 const Bytes bytes = assignment.at(i, j);
@@ -463,7 +560,8 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
                     if (opts.adaptOnDrift &&
                         !opts.predictedBwOverride.has_value() &&
                         model != nullptr && model->trained()) {
-                        retrainAndRedeploy(pending, nextEpoch);
+                        retrainAndRedeploy(pending, assignment, s,
+                                           retired, nextEpoch);
                     }
                     // With or without the adaptive path, the model
                     // is considered recalibrated on current
@@ -485,7 +583,7 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
         // slowest pair's average achieved rate over its active period.
         std::vector<Seconds> transferDone(n, shuffleStart);
         Mbps minPairBw = 0.0;
-        for (const auto &[id, t] : pending) {
+        auto accountTransfer = [&](const PendingTransfer &t) {
             const Seconds done = t.done > 0.0 ? t.done : sim.now();
             transferDone[t.dst] = std::max(transferDone[t.dst], done);
             stageResult.wanBytes += t.bytes;
@@ -497,7 +595,13 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
                                 ? avg
                                 : std::min(minPairBw, avg);
             }
-        }
+        };
+        for (const auto &[id, t] : pending)
+            accountTransfer(t);
+        // Transfers retired mid-stage by an incremental re-plan:
+        // their delivered portion is real WAN traffic of this stage.
+        for (const PendingTransfer &t : retired)
+            accountTransfer(t);
         stageResult.minPairBw = minPairBw;
         stageResult.transferEnd = sim.now();
         if (minPairBw > 0.0) {

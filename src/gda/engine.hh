@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "core/forecast.hh"
 #include "core/wanify.hh"
 #include "cost/cost_model.hh"
 #include "gda/job.hh"
@@ -147,6 +148,28 @@ struct RunOptions
      * Null = stationary OU noise only.
      */
     const scenario::Dynamics *dynamics = nullptr;
+
+    /**
+     * Forecast-aware planning (opt-in: off keeps snapshot planning,
+     * and therefore every existing bench and golden, bit-identical).
+     * When enabled, each placement carries a BwForecast — built from
+     * `dynamics`' pure capacity factors when a scenario/trace is
+     * attached (simulation mode), else from the per-pair trend of
+     * this run's predicted/gauged matrices (deployed mode) — and the
+     * fraction-search schedulers warm-start each stage from the plan
+     * they previously found for it.
+     */
+    core::ForecastConfig forecast;
+
+    /**
+     * With forecast planning and adaptOnDrift both on: after a
+     * retrain redeploys, stop the stage's unfinished transfers,
+     * re-place the undelivered bytes under the retrained belief
+     * (warm-started from the original plan) and restart them — the
+     * incremental re-plan, instead of letting a stale placement run
+     * to completion.
+     */
+    bool replanOnRetrain = true;
 
     /**
      * When the drift detector trips mid-run (WANify deployed, no

@@ -19,6 +19,12 @@ estimateStageTime(const StageContext &ctx,
             "estimateStageTime: assignment shape mismatch");
     fatalIf(!(ctx.wanShare > 0.0) || ctx.wanShare > 1.0,
             "estimateStageTime: wanShare must be in (0, 1]");
+    const core::BwForecast *fc =
+        ctx.forecast != nullptr && !ctx.forecast->empty()
+            ? ctx.forecast
+            : nullptr;
+    fatalIf(fc != nullptr && fc->dcCount() != n,
+            "estimateStageTime: forecast size mismatch");
 
     // Aggregate WAN capacity per DC (first VM's throttle; transfers
     // into/out of a DC share its NIC no matter what the per-pair BW
@@ -60,10 +66,20 @@ estimateStageTime(const StageContext &ctx,
             // concurrent queries consume the rest of the link, so
             // assuming the full believed BW would systematically
             // under-estimate transfer time under a resident service.
-            const Mbps bw =
-                std::max(1.0, ctx.bw->at(i, j) * ctx.wanShare);
-            slowestIn =
-                std::max(slowestIn, units::transferTime(bytes, bw));
+            // The rate floor is kMinFeasibleMbps, not 1 Mbps: a
+            // zero/near-zero pair (outage) must look infeasible —
+            // astronomically slow yet finite, so the fraction search
+            // keeps a gradient away from it — rather than like a
+            // slow-but-usable 1 Mbps link.
+            const Seconds linkTime =
+                fc != nullptr
+                    ? fc->transferTime(i, j, bytes, ctx.wanShare,
+                                       ctx.planTime)
+                    : units::transferTime(
+                          bytes,
+                          std::max(core::BwForecast::kMinFeasibleMbps,
+                                   ctx.bw->at(i, j) * ctx.wanShare));
+            slowestIn = std::max(slowestIn, linkTime);
         }
         const Seconds aggregateIn =
             units::transferTime(inbound, wanCap[j]);

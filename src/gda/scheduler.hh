@@ -15,16 +15,38 @@
 #ifndef WANIFY_GDA_SCHEDULER_HH
 #define WANIFY_GDA_SCHEDULER_HH
 
+#include <map>
 #include <string>
 #include <vector>
 
 #include "common/matrix.hh"
 #include "common/units.hh"
+#include "core/forecast.hh"
 #include "gda/job.hh"
 #include "net/topology.hh"
 
 namespace wanify {
 namespace gda {
+
+/**
+ * Caller-owned warm-start memory for the fraction-search schedulers.
+ *
+ * Tetrium/Kimchi seed the search from the fractions they found the
+ * last time they placed the same stage (re-plans on retrain, repeat
+ * placements under drifted beliefs) instead of searching from
+ * scratch. The memory lives with the caller — the engine keeps one
+ * per run, the serve layer one per query — because scheduler
+ * instances are shared across concurrently running trials and must
+ * stay stateless.
+ */
+struct PlanMemory
+{
+    /** Best fractions found per stage index. */
+    std::map<std::size_t, std::vector<double>> fractionsByStage;
+
+    /** Improvement iterations the most recent search used. */
+    std::size_t lastIterations = 0;
+};
 
 /** Everything a scheduler may consider for one stage. */
 struct StageContext
@@ -56,6 +78,21 @@ struct StageContext
      * that concurrent queries are consuming.
      */
     double wanShare = 1.0;
+
+    /**
+     * Optional per-pair bandwidth forecast. When set (and non-empty),
+     * estimateStageTime integrates each transfer across the forecast
+     * segments starting at planTime instead of dividing by the single
+     * believed snapshot rate — so placement sees the maintenance
+     * window that starts mid-shuffle. Null keeps snapshot planning.
+     */
+    const core::BwForecast *forecast = nullptr;
+
+    /** Absolute time the plan is made (forecast integration start). */
+    Seconds planTime = 0.0;
+
+    /** Optional warm-start memory (see PlanMemory). */
+    PlanMemory *memory = nullptr;
 };
 
 /** Estimated completion time of an assignment under the believed BW. */

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Simulation-mode forecast source: sample a Dynamics object's pure
+ * capacity factors into a core::BwForecast.
+ *
+ * A ScenarioTimeline already knows the future — capFactor(i, j, t) is
+ * a pure function of time — and a TraceReplay knows it for recorded
+ * history. forecastFromDynamics turns that knowledge into the
+ * piecewise-constant BwForecast the schedulers consume: each segment's
+ * matrix is the believed bandwidth scaled by the capacity factor
+ * sampled at the segment's end (the trace interval-end convention).
+ *
+ * The anchor distinguishes what the believed matrix means: statically
+ * measured matrices were taken under nominal (factor-1) conditions and
+ * scale by capFactorAt(t) directly; freshly predicted/gauged matrices
+ * already embed the factor holding *now* and scale by the ratio
+ * capFactorAt(t) / capFactorAt(now). The now-factor is floored so a
+ * belief gauged mid-outage can still forecast the recovery.
+ */
+
+#ifndef WANIFY_SCENARIO_FORECAST_HH
+#define WANIFY_SCENARIO_FORECAST_HH
+
+#include "core/forecast.hh"
+#include "scenario/scenario.hh"
+
+namespace wanify {
+namespace scenario {
+
+/** Smallest now-factor the Current anchor divides by; factors below
+ *  it (hard outages) would otherwise explode the recovery ratio. */
+constexpr double kMinAnchorFactor = 0.01;
+
+/**
+ * Build a BwForecast for @p believed (square, one row per DC of
+ * @p dyn) covering (now, now + cfg.horizon] at cfg.step granularity.
+ * cfg.enabled is not consulted — callers gate before building.
+ */
+core::BwForecast forecastFromDynamics(const Dynamics &dyn,
+                                      const Matrix<Mbps> &believed,
+                                      Seconds now,
+                                      const core::ForecastConfig &cfg);
+
+} // namespace scenario
+} // namespace wanify
+
+#endif // WANIFY_SCENARIO_FORECAST_HH

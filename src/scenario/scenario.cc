@@ -46,6 +46,12 @@ Dynamics::burstsIn(Seconds, Seconds) const
     return {};
 }
 
+double
+Dynamics::capFactorAt(net::DcId, net::DcId, Seconds) const
+{
+    return 1.0;
+}
+
 BurstCursor::BurstCursor(const Dynamics *dynamics)
     : dynamics_(dynamics)
 {}

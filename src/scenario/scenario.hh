@@ -167,6 +167,19 @@ class Dynamics
      */
     virtual void applyAt(net::NetworkSim &sim, Seconds t) const = 0;
 
+    /**
+     * Pure capacity factor of pair (i, j) at the exact instant
+     * @p t — the forecast-sampling hook. Note the deliberate
+     * asymmetry with applyAt: replay-style sources install the
+     * conditions governing the interval *after* t (with float slack),
+     * whereas this answers "what multiplier holds at t itself" with
+     * exact closed-right boundaries, so forecast segments can't be
+     * off-by-one at segment edges. Defaults to 1 (no information:
+     * forecast-neutral).
+     */
+    virtual double capFactorAt(net::DcId i, net::DcId j,
+                               Seconds t) const;
+
     /** Background flows starting inside the half-open window
      *  (t0, t1]. Use t0 < 0 to include flows at t = 0. */
     virtual std::vector<BurstFlow> burstsIn(Seconds t0,
@@ -247,6 +260,11 @@ class ScenarioTimeline : public Dynamics
 
     std::size_t dcCount() const override { return dcCount_; }
     void applyAt(net::NetworkSim &sim, Seconds t) const override;
+    double capFactorAt(net::DcId i, net::DcId j,
+                       Seconds t) const override
+    {
+        return capFactor(i, j, t);
+    }
     std::vector<BurstFlow> burstsIn(Seconds t0,
                                     Seconds t1) const override;
 

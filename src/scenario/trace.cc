@@ -257,6 +257,23 @@ TraceReplay::applyAt(net::NetworkSim &sim, Seconds t) const
     }
 }
 
+double
+TraceReplay::capFactorAt(net::DcId i, net::DcId j, Seconds t) const
+{
+    const std::size_t n = trace_.dcs;
+    fatalIf(i >= n || j >= n,
+            "TraceReplay::capFactorAt: pair out of range");
+    // Row k holds over (t_{k-1}, t_k]: the first sample with time
+    // >= t, clamped to the last row past the end of the recording.
+    const auto it = std::lower_bound(trace_.times.begin(),
+                                     trace_.times.end(), t);
+    const std::size_t k =
+        it == trace_.times.end()
+            ? trace_.times.size() - 1
+            : static_cast<std::size_t>(it - trace_.times.begin());
+    return trace_.rows[k][i * n + j];
+}
+
 std::vector<BurstFlow>
 TraceReplay::burstsIn(Seconds t0, Seconds t1) const
 {

@@ -110,6 +110,17 @@ class TraceReplay : public Dynamics
      *  the last row once t is at or beyond the final timestamp). */
     void applyAt(net::NetworkSim &sim, Seconds t) const override;
 
+    /**
+     * Recorded capacity multiplier at the exact instant @p t: the row
+     * held over (t_{k-1}, t_k] with closed-right boundaries (t = t_k
+     * reads row k, not k+1), the first row at or before t_0, the last
+     * row past t_last. This is the forecast-sampling view; applyAt
+     * keeps its microsecond forward slack because it answers "what
+     * governs the interval starting at t" for bit-exact replay.
+     */
+    double capFactorAt(net::DcId i, net::DcId j,
+                       Seconds t) const override;
+
     /** Recorded burst events starting inside (t0, t1]. */
     std::vector<BurstFlow> burstsIn(Seconds t0,
                                     Seconds t1) const override;

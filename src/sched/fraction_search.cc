@@ -1,6 +1,7 @@
 #include "sched/fraction_search.hh"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/error.hh"
 
@@ -12,6 +13,17 @@ searchFractions(const gda::StageContext &ctx,
                 const AssignmentObjective &objective,
                 std::vector<double> seedFractions,
                 const FractionSearchConfig &cfg)
+{
+    return searchFractionsDetailed(ctx, objective,
+                                   std::move(seedFractions), cfg)
+        .fractions;
+}
+
+FractionSearchResult
+searchFractionsDetailed(const gda::StageContext &ctx,
+                        const AssignmentObjective &objective,
+                        std::vector<double> seedFractions,
+                        const FractionSearchConfig &cfg)
 {
     const std::size_t n = ctx.inputByDc.size();
     fatalIf(seedFractions.size() != n,
@@ -41,6 +53,7 @@ searchFractions(const gda::StageContext &ctx,
     std::vector<double> best = seedFractions;
     double bestValue = evaluate(best);
     std::vector<double> candidate(n);
+    std::size_t iterations = 0;
 
     for (std::size_t iter = 0; iter < cfg.maxIterations; ++iter) {
         // Try every (from, to) move of cfg.step and take the best.
@@ -65,6 +78,7 @@ searchFractions(const gda::StageContext &ctx,
         }
         if (moveFrom == n)
             break; // no improving move
+        ++iterations;
         best[moveFrom] -= cfg.step;
         best[moveTo] += cfg.step;
         const double improvement = (bestValue - roundBest) /
@@ -73,7 +87,31 @@ searchFractions(const gda::StageContext &ctx,
         if (improvement < cfg.tolerance)
             break;
     }
-    return best;
+    return {std::move(best), iterations, bestValue};
+}
+
+bool
+applyWarmStart(const gda::StageContext &ctx,
+               std::vector<double> &seed)
+{
+    if (ctx.memory == nullptr)
+        return false;
+    const auto it = ctx.memory->fractionsByStage.find(ctx.stageIndex);
+    if (it == ctx.memory->fractionsByStage.end() ||
+        it->second.size() != seed.size())
+        return false;
+    seed = it->second;
+    return true;
+}
+
+void
+rememberResult(const gda::StageContext &ctx,
+               const FractionSearchResult &result)
+{
+    if (ctx.memory == nullptr)
+        return;
+    ctx.memory->fractionsByStage[ctx.stageIndex] = result.fractions;
+    ctx.memory->lastIterations = result.iterations;
 }
 
 } // namespace sched

@@ -41,6 +41,18 @@ struct FractionSearchConfig
     double tolerance = 1.0e-4;
 };
 
+/** Outcome of one fraction search. */
+struct FractionSearchResult
+{
+    std::vector<double> fractions;
+
+    /** Improvement iterations executed (warm starts use fewer). */
+    std::size_t iterations = 0;
+
+    /** Objective value of the returned fractions. */
+    double objective = 0.0;
+};
+
 /**
  * Minimize @p objective over fractions r (sum 1, r >= 0), returning
  * the best fractions found. @p seedFractions is the starting point
@@ -50,6 +62,25 @@ std::vector<double> searchFractions(
     const gda::StageContext &ctx, const AssignmentObjective &objective,
     std::vector<double> seedFractions,
     const FractionSearchConfig &cfg = {});
+
+/** As searchFractions, but reporting iterations and the final
+ *  objective — the warm-start effectiveness surface. */
+FractionSearchResult searchFractionsDetailed(
+    const gda::StageContext &ctx, const AssignmentObjective &objective,
+    std::vector<double> seedFractions,
+    const FractionSearchConfig &cfg = {});
+
+/**
+ * Replace @p seed with the fractions remembered for ctx.stageIndex
+ * when ctx.memory holds a size-matching entry — the incremental
+ * re-plan warm start. Returns true when the warm start applied.
+ */
+bool applyWarmStart(const gda::StageContext &ctx,
+                    std::vector<double> &seed);
+
+/** Store a search outcome into ctx.memory (no-op without memory). */
+void rememberResult(const gda::StageContext &ctx,
+                    const FractionSearchResult &result);
 
 } // namespace sched
 } // namespace wanify

@@ -34,9 +34,13 @@ KimchiScheduler::placeStage(const gda::StageContext &ctx)
                       : 1.0 / static_cast<double>(n);
     }
 
-    const auto fractions =
-        searchFractions(ctx, objective, seed, search_);
-    return gda::assignmentFromFractions(ctx.inputByDc, fractions);
+    applyWarmStart(ctx, seed);
+
+    const auto result =
+        searchFractionsDetailed(ctx, objective, seed, search_);
+    rememberResult(ctx, result);
+    return gda::assignmentFromFractions(ctx.inputByDc,
+                                        result.fractions);
 }
 
 } // namespace sched

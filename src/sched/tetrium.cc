@@ -30,9 +30,15 @@ TetriumScheduler::placeStage(const gda::StageContext &ctx)
                       : 1.0 / static_cast<double>(n);
     }
 
-    const auto fractions =
-        searchFractions(ctx, objective, seed, search_);
-    return gda::assignmentFromFractions(ctx.inputByDc, fractions);
+    // A remembered plan for this stage (re-plan on retrain, repeat
+    // placement under drifted beliefs) beats the cold seed.
+    applyWarmStart(ctx, seed);
+
+    const auto result =
+        searchFractionsDetailed(ctx, objective, seed, search_);
+    rememberResult(ctx, result);
+    return gda::assignmentFromFractions(ctx.inputByDc,
+                                        result.fractions);
 }
 
 } // namespace sched

@@ -11,6 +11,7 @@
 #include "sched/kimchi.hh"
 #include "sched/locality.hh"
 #include "sched/tetrium.hh"
+#include "scenario/forecast.hh"
 
 namespace wanify {
 namespace serve {
@@ -83,6 +84,84 @@ Service::Service(net::Topology topo, ServiceConfig cfg,
     for (DcId dc = 0; dc < n; ++dc)
         for (net::VmId v : topo_.dc(dc).vms)
             computeRate_[dc] += topo_.vm(v).type.computeRate;
+
+    if (cfg_.dynamics != nullptr) {
+        fatalIf(cfg_.dynamics->dcCount() != 0 &&
+                    cfg_.dynamics->dcCount() != n,
+                "Service: dynamics compiled for a different cluster "
+                "size");
+        burstCursor_ =
+            std::make_unique<scenario::BurstCursor>(cfg_.dynamics);
+    }
+}
+
+void
+Service::applyDynamics()
+{
+    if (cfg_.dynamics == nullptr)
+        return;
+    cfg_.dynamics->applyAt(sim_, sim_.now());
+    // Scenario bursts are other tenants' flows: group 0, competing
+    // with every query through the allocator-managed mesh.
+    burstCursor_->advanceTo(sim_, sim_.now());
+}
+
+double
+Service::meshMeanFactor(Seconds t) const
+{
+    const std::size_t n = topo_.dcCount();
+    double sum = 0.0;
+    std::size_t pairs = 0;
+    for (DcId i = 0; i < n; ++i) {
+        for (DcId j = 0; j < n; ++j) {
+            if (i == j)
+                continue;
+            sum += cfg_.dynamics->capFactorAt(i, j, t);
+            ++pairs;
+        }
+    }
+    return pairs == 0 ? 1.0 : sum / static_cast<double>(pairs);
+}
+
+bool
+Service::admissionHeld()
+{
+    if (!cfg_.forecastAdmission || !cfg_.forecast.enabled ||
+        cfg_.dynamics == nullptr)
+        return false;
+    const Seconds now = sim_.now();
+    if (now < admissionResumeAt_)
+        return true; // inside a standing hold
+    if (now < holdCooloffUntil_)
+        return false; // a hold just expired; admit regardless
+
+    // Compare the mesh-mean capacity factor now against the best
+    // within the horizon: admitting into a trough that the forecast
+    // says will lift shortly only buys queue-for-bandwidth churn.
+    const double nowMean = meshMeanFactor(now);
+    double best = nowMean;
+    for (Seconds t = now + cfg_.forecast.step;
+         t <= now + cfg_.forecast.horizon + kTimeEps;
+         t += cfg_.forecast.step)
+        best = std::max(best, meshMeanFactor(t));
+    if (nowMean >= cfg_.admissionTrough * best)
+        return false;
+
+    // Hold until the first forecast sample out of the trough,
+    // bounded by maxAdmissionHold; cool off as long afterwards so
+    // repeated troughs cannot defer admission without bound.
+    Seconds resume = now + cfg_.maxAdmissionHold;
+    for (Seconds t = now + cfg_.forecast.step;
+         t <= now + cfg_.forecast.horizon + kTimeEps;
+         t += cfg_.forecast.step) {
+        if (meshMeanFactor(t) >= cfg_.admissionTrough * best) {
+            resume = std::min(resume, t);
+            break;
+        }
+    }
+    admissionResumeAt_ = resume;
+    holdCooloffUntil_ = resume + cfg_.maxAdmissionHold;
+    return true;
 }
 
 void
@@ -111,11 +190,21 @@ void
 Service::admitDueQueries()
 {
     const Seconds now = sim_.now();
+    const bool held = admissionHeld();
     while (nextArrival_ < arrivalOrder_.size() &&
            active_.size() < cfg_.maxConcurrent) {
         QueryState &q = queries_[arrivalOrder_[nextArrival_]];
         if (q.spec.arrival > now + kTimeEps)
             break;
+        if (held) {
+            // Due but deferred: the forecast says the mesh is in a
+            // trough that lifts within the horizon.
+            if (!q.heldByForecast) {
+                q.heldByForecast = true;
+                ++forecastHeldAdmissions_;
+            }
+            break;
+        }
         ++nextArrival_;
 
         q.phase = Phase::Planning;
@@ -192,16 +281,33 @@ Service::planAndLaunch()
             snapshot.at(i, j) =
                 i == j ? 0.0 : sim_.effectivePathCap(i, j);
 
-    // A-priori share estimate for planning: the fraction of each
-    // contended link this query would win if every active query
-    // contended everywhere — exact under full overlap, conservative
-    // under partial overlap. The allocator's water-fill then sets the
-    // enforced shares from the transfers actually started.
+    // A-priori share estimate for planning. Adaptive (default): the
+    // fraction of a contended link this query would win against the
+    // *observed* mesh occupancy — the queries shuffling right now
+    // plus this round's co-planning cohort. Compute-phase neighbors
+    // don't dilute the estimate, so a query planning its next stage
+    // while most peers crunch locally sees a realistic share and
+    // stays network-differentiable (a mass admission still seeds
+    // conservatively: the whole cohort is in the denominator).
+    // Legacy: 1 / (sum of every active weight), which kept small
+    // mixed-workload queries planned so defensively they went
+    // compute-bound and the weighted allocator had nothing left to
+    // differentiate. Either way the allocator's water-fill then
+    // enforces the real shares from the transfers actually started.
     double weightSum = 0.0;
-    for (const std::size_t idx : active_)
-        weightSum += cfg_.policy == AllocPolicy::WeightedPriority
-                         ? queries_[idx].spec.weight
-                         : 1.0;
+    double occupiedWeight = 0.0;
+    for (const std::size_t idx : active_) {
+        const QueryState &o = queries_[idx];
+        const double w = cfg_.policy == AllocPolicy::WeightedPriority
+                             ? o.spec.weight
+                             : 1.0;
+        weightSum += w;
+        if (o.phase == Phase::Shuffling && !o.pending.empty())
+            occupiedWeight += w;
+        else if (o.phase == Phase::Planning)
+            occupiedWeight += w; // co-planning cohort, incl. self
+    }
+    const Seconds planNow = sim_.now();
 
     // Placement, prediction, and connection planning are pure in the
     // query's own state, so the fan-out is deterministic: work is
@@ -213,7 +319,10 @@ Service::planAndLaunch()
                 cfg_.policy == AllocPolicy::WeightedPriority
                     ? q.spec.weight
                     : 1.0;
-            q.share = weightSum > 0.0 ? w / weightSum : 1.0;
+            q.share = cfg_.adaptiveAprioriShare
+                          ? std::min(1.0,
+                                     w / std::max(w, occupiedWeight))
+                          : (weightSum > 0.0 ? w / weightSum : 1.0);
             q.outcome.minPlanningShare =
                 std::min(q.outcome.minPlanningShare, q.share);
 
@@ -227,6 +336,17 @@ Service::planAndLaunch()
                 topo_, q.spec.job, q.stage, q.stageInput,
                 q.believedBw);
             ctx.wanShare = q.share;
+            ctx.memory = &q.planMemory;
+            if (cfg_.forecast.enabled && cfg_.dynamics != nullptr) {
+                // Plan against where the mesh is going, not only
+                // where it is: believed bandwidth scaled by the
+                // dynamics' future factors relative to now.
+                q.forecast = scenario::forecastFromDynamics(
+                    *cfg_.dynamics, q.believedBw, planNow,
+                    cfg_.forecast);
+                ctx.forecast = &q.forecast;
+                ctx.planTime = planNow;
+            }
             q.assignment = q.scheduler->placeStage(ctx);
             panicIf(q.assignment.rows() != n ||
                         q.assignment.cols() != n,
@@ -267,9 +387,20 @@ Service::planAndLaunch()
                 t.dst = j;
                 t.bytes = bytes;
                 t.started = now;
-                t.expected = units::transferTime(
-                    bytes,
-                    std::max(1.0, q.believedBw.at(i, j) * q.share));
+                // Straggler budgets share the planner's rate model:
+                // forecast-integrated when available, else the
+                // snapshot rate floored at the infeasibility
+                // epsilon (a dead pair's budget must be huge, not
+                // the silent 1 Mbps the old floor implied).
+                t.expected =
+                    cfg_.forecast.enabled && !q.forecast.empty()
+                        ? q.forecast.transferTime(i, j, bytes,
+                                                  q.share, now)
+                        : units::transferTime(
+                              bytes,
+                              std::max(
+                                  core::BwForecast::kMinFeasibleMbps,
+                                  q.believedBw.at(i, j) * q.share));
                 t.connections = conns;
                 q.pending[id] = t;
                 q.outcome.wanBytes += bytes;
@@ -486,6 +617,7 @@ Service::buildReport() const
     report.queuedAdmissions = queuedAdmissions_;
     report.retrainsPublished = retrainsPublished_;
     report.cappedPairRounds = cappedPairRounds_;
+    report.forecastHeldAdmissions = forecastHeldAdmissions_;
 
     Seconds firstAdmitted = 0.0, lastFinished = 0.0;
     double xSum = 0.0, x2Sum = 0.0;
@@ -557,12 +689,18 @@ Service::drain()
 
     while (!active_.empty() ||
            nextArrival_ < arrivalOrder_.size()) {
+        applyDynamics();
         admitDueQueries();
 
         if (active_.empty()) {
-            // Fully idle: fast-forward to the next arrival.
-            const Seconds at =
+            // Fully idle: fast-forward to the next arrival — or to
+            // the end of a forecast admission hold, whichever is
+            // later (a hold always resumes strictly in the future,
+            // so this cannot stall).
+            Seconds at =
                 queries_[arrivalOrder_[nextArrival_]].spec.arrival;
+            if (admissionResumeAt_ > sim_.now())
+                at = std::max(at, admissionResumeAt_);
             if (at > sim_.now())
                 sim_.advanceBy(at - sim_.now());
             continue;
@@ -587,8 +725,10 @@ Service::drain()
         }
         if (active_.size() < cfg_.maxConcurrent &&
             nextArrival_ < arrivalOrder_.size()) {
-            const Seconds at =
+            Seconds at =
                 queries_[arrivalOrder_[nextArrival_]].spec.arrival;
+            if (admissionResumeAt_ > now)
+                at = std::max(at, admissionResumeAt_);
             target =
                 std::min(target, std::max(now + kTimeEps, at));
         }
@@ -606,6 +746,8 @@ Service::drain()
         maybeRetrain();
     }
 
+    if (burstCursor_ != nullptr)
+        burstCursor_->finish(sim_);
     return buildReport();
 }
 

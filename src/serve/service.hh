@@ -43,12 +43,14 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "core/forecast.hh"
 #include "core/wanify.hh"
 #include "gda/engine.hh"
 #include "gda/job.hh"
 #include "gda/scheduler.hh"
 #include "ml/dataset.hh"
 #include "net/network_sim.hh"
+#include "scenario/scenario.hh"
 #include "serve/allocator.hh"
 
 namespace wanify {
@@ -88,6 +90,52 @@ struct ServiceConfig
 
     /** Connection cap for re-dispatched transfers. */
     int maxRedispatchConnections = 8;
+
+    // --- non-stationary dynamics + forecast-aware planning ---------------
+
+    /**
+     * Optional WAN dynamics (scenario timeline or trace replay)
+     * applied to the shared mesh at every control-plane step, with
+     * its background bursts opened on the mesh as group-0 tenants.
+     * Must be compiled for the service's cluster size and outlive
+     * the service. Null = stationary mesh.
+     */
+    const scenario::Dynamics *dynamics = nullptr;
+
+    /**
+     * Forecast-aware planning: with enabled set and dynamics
+     * attached, every planning round builds a per-query BwForecast
+     * (the query's believed matrix scaled by the dynamics' future
+     * capacity factors, Current anchor) so placement and straggler
+     * budgets integrate across upcoming scenario events, and each
+     * query's fraction search warm-starts from its previous plan.
+     */
+    core::ForecastConfig forecast;
+
+    /**
+     * Forecast-aware admission: hold admissions while the mesh-mean
+     * forecast capacity is below admissionTrough times the best
+     * mesh-mean within the horizon — the upcoming recovery makes
+     * "right now" the worst moment to start a query. Each hold is
+     * capped at maxAdmissionHold and followed by an equally long
+     * cool-off before another hold may begin, so admission delay
+     * stays bounded. Needs forecast.enabled and dynamics.
+     */
+    bool forecastAdmission = false;
+    double admissionTrough = 0.6;
+    Seconds maxAdmissionHold = 120.0;
+
+    /**
+     * Seed each query's a-priori planning wanShare from observed
+     * mesh occupancy — its weight against the weights of the queries
+     * actually shuffling right now — instead of the defensive 1 / N
+     * over every active query. The 1/N floor kept small queries
+     * planned so conservatively they went compute-bound, which
+     * erased the weighted allocator's differentiation on mixed
+     * workloads. The allocator's water-fill still enforces the real
+     * shares afterwards.
+     */
+    bool adaptiveAprioriShare = true;
 
     // --- online model refresh --------------------------------------------
 
@@ -171,6 +219,9 @@ struct ServiceReport
     std::size_t redispatches = 0;
     std::size_t retrainsPublished = 0;
 
+    /** Queries whose admission a forecast hold deferred. */
+    std::size_t forecastHeldAdmissions = 0;
+
     /** Sum over allocation rounds of pairs that got share caps. */
     std::size_t cappedPairRounds = 0;
 
@@ -235,6 +286,16 @@ class Service
         Matrix<int> connections;
 
         double share = 1.0;
+
+        /** Per-query forecast of the current planning round. */
+        core::BwForecast forecast;
+
+        /** Warm-start memory across this query's plans. */
+        gda::PlanMemory planMemory;
+
+        /** Admission deferred by a forecast hold (counted once). */
+        bool heldByForecast = false;
+
         std::map<net::TransferId, ActiveTransfer> pending;
         std::vector<Seconds> transferDone;
         Seconds stageShuffleStart = 0.0;
@@ -243,6 +304,9 @@ class Service
         QueryOutcome outcome;
     };
 
+    void applyDynamics();
+    bool admissionHeld();
+    double meshMeanFactor(Seconds t) const;
     void admitDueQueries();
     void transitionComputedQueries();
     void planAndLaunch();
@@ -275,6 +339,11 @@ class Service
     std::size_t cappedPairRounds_ = 0;
     std::size_t peakConcurrent_ = 0;
     std::size_t queuedAdmissions_ = 0;
+
+    std::unique_ptr<scenario::BurstCursor> burstCursor_;
+    Seconds admissionResumeAt_ = 0.0;
+    Seconds holdCooloffUntil_ = 0.0;
+    std::size_t forecastHeldAdmissions_ = 0;
 };
 
 } // namespace serve

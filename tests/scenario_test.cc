@@ -21,6 +21,7 @@
 #include "gda/engine.hh"
 #include "ml/csv.hh"
 #include "sched/locality.hh"
+#include "sched/tetrium.hh"
 #include "scenario/driver.hh"
 #include "scenario/library.hh"
 #include "scenario/trace.hh"
@@ -493,6 +494,81 @@ TEST(ScenarioTrace, LegacyCapacityOnlyCsvStillLoads)
             EXPECT_DOUBLE_EQ(m, 0.75);
 }
 
+// ---- replay boundary semantics ---------------------------------------------
+
+TEST(ScenarioTrace, CapFactorHoldsRowsOverClosedRightIntervals)
+{
+    // Rows are held over (t_{k-1}, t_k]: an exact-t_k query reads
+    // row k, not k+1; t before the first timestamp reads row 0; t
+    // past the last reads the final row.
+    BwTrace trace;
+    trace.dcs = 2;
+    trace.add(10.0, {1.0, 0.5, 0.5, 1.0});
+    trace.add(20.0, {1.0, 0.25, 0.25, 1.0});
+    const TraceReplay replay(trace);
+
+    EXPECT_DOUBLE_EQ(replay.capFactorAt(0, 1, 0.0), 0.5);
+    EXPECT_DOUBLE_EQ(replay.capFactorAt(0, 1, 10.0), 0.5);
+    EXPECT_DOUBLE_EQ(replay.capFactorAt(0, 1, 10.1), 0.25);
+    EXPECT_DOUBLE_EQ(replay.capFactorAt(0, 1, 20.0), 0.25);
+    EXPECT_DOUBLE_EQ(replay.capFactorAt(0, 1, 1.0e6), 0.25);
+    // Diagonal entries replay as recorded (identity here).
+    EXPECT_DOUBLE_EQ(replay.capFactorAt(0, 0, 10.0), 1.0);
+}
+
+TEST(ScenarioTrace, ApplyAtInstallsTheIntervalAfterTheBoundary)
+{
+    // The deliberate asymmetry with capFactorAt: applyAt answers
+    // "what governs the interval starting at t" (with a microsecond
+    // of forward slack for bit-exact replay), so applying at an exact
+    // sample time installs the *next* row while capFactorAt still
+    // reads the closed-right row.
+    BwTrace trace;
+    trace.dcs = 2;
+    trace.add(10.0, {1.0, 0.5, 0.5, 1.0});
+    trace.add(20.0, {1.0, 0.25, 0.25, 1.0});
+    const TraceReplay replay(trace);
+
+    net::NetworkSim sim(experiments::workerCluster(2),
+                        experiments::quietSimConfig(), 1);
+    replay.applyAt(sim, 0.0);
+    EXPECT_NEAR(capturedMultipliers(sim)[1], 0.5, 1e-12);
+    replay.applyAt(sim, 10.0);
+    EXPECT_NEAR(capturedMultipliers(sim)[1], 0.25, 1e-12);
+    EXPECT_DOUBLE_EQ(replay.capFactorAt(0, 1, 10.0), 0.5);
+    replay.applyAt(sim, 9.0); // strictly inside the first interval
+    EXPECT_NEAR(capturedMultipliers(sim)[1], 0.5, 1e-12);
+    replay.applyAt(sim, 50.0); // past the end: last row held
+    EXPECT_NEAR(capturedMultipliers(sim)[1], 0.25, 1e-12);
+}
+
+TEST(ScenarioTrace, SingleRowLegacyTraceHoldsEverywhere)
+{
+    // A one-sample capacity-only dataset (the legacy layout) must
+    // replay as a constant medium at every query time, including
+    // t = 0 and far past the lone timestamp.
+    ml::Dataset legacy(1, 4);
+    legacy.add({5.0}, std::vector<double>{1.0, 0.6, 0.6, 1.0});
+    const auto trace = BwTrace::fromDataset(legacy);
+
+    EXPECT_EQ(trace.dcs, 2u);
+    ASSERT_EQ(trace.size(), 1u);
+    EXPECT_TRUE(trace.bursts.empty());
+
+    const TraceReplay replay(trace);
+    for (double t : {0.0, 5.0, 5.1, 1.0e6})
+        EXPECT_DOUBLE_EQ(replay.capFactorAt(0, 1, t), 0.6)
+            << "t = " << t;
+    EXPECT_TRUE(replay.burstsIn(-1.0, 1.0e6).empty());
+
+    net::NetworkSim sim(experiments::workerCluster(2),
+                        experiments::quietSimConfig(), 1);
+    replay.applyAt(sim, 0.0);
+    EXPECT_NEAR(capturedMultipliers(sim)[1], 0.6, 1e-12);
+    replay.applyAt(sim, 100.0);
+    EXPECT_NEAR(capturedMultipliers(sim)[1], 0.6, 1e-12);
+}
+
 // ---- engine integration -----------------------------------------------------
 
 namespace {
@@ -591,6 +667,79 @@ TEST(EngineScenario, DeterministicWithDynamics)
     const auto b = runUnderDynamics(&timeline, nullptr, 555);
     EXPECT_DOUBLE_EQ(a.latency, b.latency);
     EXPECT_DOUBLE_EQ(a.cost.total(), b.cost.total());
+}
+
+namespace {
+
+/** Skewed TeraSort under Tetrium with forecast planning on. */
+gda::QueryResult
+runForecastRun(const scenario::Dynamics *dynamics,
+               core::Wanify *wanify, bool replanOnRetrain,
+               std::uint64_t seed)
+{
+    const auto topo = experiments::workerCluster(4, 2);
+    const auto job = workloads::teraSort(8.0);
+    storage::HdfsStore hdfs(topo);
+    hdfs.loadSkewed(job.inputBytes, {0.55, 0.25, 0.15, 0.05});
+    sched::TetriumScheduler tetrium;
+
+    gda::Engine engine(topo, experiments::defaultSimConfig(), seed);
+    gda::RunOptions opts;
+    opts.schedulerBw = Matrix<Mbps>::square(4, 500.0);
+    opts.wanify = wanify;
+    opts.dynamics = dynamics;
+    opts.adaptOnDrift = true;
+    opts.forecast.enabled = true;
+    opts.forecast.horizon = 120.0;
+    opts.forecast.step = 5.0;
+    opts.replanOnRetrain = replanOnRetrain;
+    return engine.run(job, hdfs.distribution(), tetrium, opts);
+}
+
+} // namespace
+
+TEST(EngineScenario, ForecastReplanOnRetrainFiresAndIsDeterministic)
+{
+    // Same long outage as DriftRetrainFiresEndToEnd, but with
+    // forecast planning + incremental re-plan on the retrain path:
+    // the retrain must actually fire, the re-placed run must finish
+    // every stage, and the whole pipeline (forecast build, warm
+    // start, transfer stop/restart) must stay bit-deterministic.
+    ScenarioSpec spec;
+    spec.name = "test-outage";
+    ScenarioEvent ev;
+    ev.kind = EventKind::Outage;
+    ev.start = 10.0;
+    ev.duration = 3000.0;
+    ev.residual = 0.3;
+    spec.events.push_back(ev);
+    const ScenarioTimeline timeline(spec, 4, 99);
+
+    core::Wanify wanify(scenarioWanifyConfig());
+    wanify.setPredictor(experiments::sharedPredictor());
+
+    const auto a = runForecastRun(&timeline, &wanify, true, 2024);
+    EXPECT_GE(a.retrainsApplied, 1u);
+    EXPECT_GT(a.latency, 0.0);
+    ASSERT_EQ(a.stages.size(), 2u);
+    for (const auto &stage : a.stages) {
+        EXPECT_GE(stage.end, stage.transferEnd);
+        EXPECT_GE(stage.wanBytes, 0.0);
+    }
+
+    const auto b = runForecastRun(&timeline, &wanify, true, 2024);
+    EXPECT_DOUBLE_EQ(a.latency, b.latency);
+    EXPECT_DOUBLE_EQ(a.cost.total(), b.cost.total());
+    EXPECT_EQ(a.retrainsApplied, b.retrainsApplied);
+
+    // Without dynamics the forecast falls back to the gauge trend
+    // (deployed mode) and the run must still complete cleanly.
+    const auto trendOnly =
+        runForecastRun(nullptr, &wanify, true, 2024);
+    EXPECT_GT(trendOnly.latency, 0.0);
+    const auto trendAgain =
+        runForecastRun(nullptr, &wanify, true, 2024);
+    EXPECT_DOUBLE_EQ(trendOnly.latency, trendAgain.latency);
 }
 
 TEST(EngineScenario, RejectsMismatchedClusterSize)

@@ -464,6 +464,96 @@ TEST(Service, RetrainRepublishesSharedPredictor)
     EXPECT_NE(wanify->predictorSnapshot().get(), before.get());
 }
 
+TEST(Service, AdaptiveAprioriShareIgnoresComputeBoundPeers)
+{
+    // Three compute-heavy local queries admitted at t = 0 are deep in
+    // their compute phase when a fourth query arrives: they occupy no
+    // WAN, so the adaptive a-priori share lets the newcomer plan with
+    // the whole mesh, while the legacy 1 / N prior still divides by
+    // every active query.
+    auto run = [&](bool adaptive) {
+        serve::ServiceConfig cfg;
+        cfg.maxConcurrent = 8;
+        cfg.scheduler = serve::SchedulerKind::Locality;
+        cfg.adaptiveAprioriShare = adaptive;
+        serve::Service service(experiments::workerCluster(4), cfg,
+                               experiments::quietSimConfig(),
+                               nullptr, 63);
+        for (std::size_t i = 0; i < 3; ++i) {
+            auto heavy = smallQuery(i, i, 4, 0.0);
+            heavy.job.stages[0].workPerMb = 5.0;
+            service.submit(heavy);
+        }
+        service.submit(smallQuery(3, 3, 4, 10.0));
+        return service.drain();
+    };
+
+    const auto adaptive = run(true);
+    const auto legacy = run(false);
+    ASSERT_EQ(adaptive.completed, 4u);
+    ASSERT_EQ(legacy.completed, 4u);
+
+    // Co-planning cohort of three at t = 0: both priors agree.
+    EXPECT_NEAR(adaptive.queries[0].minPlanningShare, 1.0 / 3.0,
+                1e-9);
+    EXPECT_NEAR(legacy.queries[0].minPlanningShare, 1.0 / 3.0,
+                1e-9);
+    // The late query plans alone against an idle mesh.
+    EXPECT_NEAR(adaptive.queries[3].minPlanningShare, 1.0, 1e-9);
+    EXPECT_NEAR(legacy.queries[3].minPlanningShare, 0.25, 1e-9);
+}
+
+TEST(Service, ForecastAdmissionHoldsThroughTheTrough)
+{
+    // An all-pairs maintenance window over [0, 60): the mesh mean sits
+    // at 0.3 of nominal while the forecast sees full recovery inside
+    // the horizon, so admission is deferred to the window's end —
+    // and without forecast admission the same query starts at t = 0.
+    scenario::ScenarioSpec spec;
+    spec.name = "trough";
+    scenario::ScenarioEvent ev;
+    ev.kind = scenario::EventKind::Maintenance;
+    ev.start = 0.0;
+    ev.duration = 60.0;
+    ev.magnitude = 0.7;
+    spec.events.push_back(ev);
+    const scenario::ScenarioTimeline timeline(spec, 4, 7);
+
+    auto run = [&](bool holdOn) {
+        serve::ServiceConfig cfg;
+        cfg.maxConcurrent = 4;
+        cfg.dynamics = &timeline;
+        cfg.forecast.enabled = true;
+        cfg.forecast.horizon = 120.0;
+        cfg.forecast.step = 5.0;
+        cfg.forecastAdmission = holdOn;
+        serve::Service service(experiments::workerCluster(4), cfg,
+                               experiments::quietSimConfig(),
+                               nullptr, 29);
+        service.submit(smallQuery(0, 0, 4, 0.0));
+        return service.drain();
+    };
+
+    const auto held = run(true);
+    ASSERT_EQ(held.completed, 1u);
+    EXPECT_EQ(held.forecastHeldAdmissions, 1u);
+    // Admitted at the recovery, not at arrival — and the hold is
+    // bounded by maxAdmissionHold (120 s) on top of the window.
+    EXPECT_GE(held.queries[0].admitted, 55.0);
+    EXPECT_LE(held.queries[0].admitted, 65.0);
+
+    const auto eager = run(false);
+    ASSERT_EQ(eager.completed, 1u);
+    EXPECT_EQ(eager.forecastHeldAdmissions, 0u);
+    EXPECT_LE(eager.queries[0].admitted, 1.5);
+
+    // The hold path stays deterministic.
+    const auto again = run(true);
+    EXPECT_EQ(held.resultHash, again.resultHash);
+    EXPECT_DOUBLE_EQ(held.queries[0].admitted,
+                     again.queries[0].admitted);
+}
+
 TEST(Workload, MixedWorkloadIsDeterministicAndShaped)
 {
     serve::WorkloadConfig cfg;

@@ -13,7 +13,10 @@
  * baseline key missing from the fresh file (a silently dropped
  * measurement is how trajectories rot). Improvements always pass and
  * should be locked in by committing the fresh file as the new
- * baseline.
+ * baseline. Pool-dependent keys (speedup_predict_batch_pool) are
+ * skipped with a visible note when either file records
+ * `pool_threads: 1` — a one-thread pool has nothing to fan out over,
+ * so that ratio is scheduler noise, not a signal.
  *
  * Usage:
  *   wanify-bench-diff <baseline.json> <fresh.json>
@@ -130,6 +133,39 @@ find(const std::vector<Metric> &metrics, const std::string &name)
     return nullptr;
 }
 
+/**
+ * Read a top-level numeric field like `"pool_threads": 4` from the
+ * raw JSON text (outside the "results" object). Returns @p fallback
+ * when absent — older BENCH files predate the field.
+ */
+double
+topLevelNumber(const std::string &text, const std::string &key,
+               double fallback)
+{
+    const std::string needle = "\"" + key + "\"";
+    const std::size_t anchor = text.find(needle);
+    if (anchor == std::string::npos)
+        return fallback;
+    const std::size_t colon = text.find(':', anchor + needle.size());
+    if (colon == std::string::npos)
+        return fallback;
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str() + colon + 1, &end);
+    return end == text.c_str() + colon + 1 ? fallback : value;
+}
+
+/**
+ * Keys whose value is meaningless on a single-thread pool: the pool
+ * speedup compares the batched predict path against itself when
+ * there is nothing to fan out over. Gating it on a one-core runner
+ * just measures scheduler noise around 1.0x.
+ */
+bool
+poolDependent(const std::string &name)
+{
+    return name == "speedup_predict_batch_pool";
+}
+
 /** Split a comma-separated prefix list; empty entries dropped. */
 std::vector<std::string>
 splitPrefixes(const std::string &list)
@@ -168,9 +204,14 @@ int
 diffPair(const char *baselinePath, const char *freshPath,
          const std::vector<std::string> &prefixes, double maxRegress)
 {
-    const auto baseline =
-        parseResults(readFile(baselinePath), baselinePath);
-    const auto fresh = parseResults(readFile(freshPath), freshPath);
+    const std::string baselineText = readFile(baselinePath);
+    const std::string freshText = readFile(freshPath);
+    const auto baseline = parseResults(baselineText, baselinePath);
+    const auto fresh = parseResults(freshText, freshPath);
+    const double basePool =
+        topLevelNumber(baselineText, "pool_threads", 0.0);
+    const double freshPool =
+        topLevelNumber(freshText, "pool_threads", 0.0);
 
     std::printf("== %s vs %s\n", baselinePath, freshPath);
     int regressions = 0;
@@ -179,6 +220,18 @@ diffPair(const char *baselinePath, const char *freshPath,
         if (!matchesAny(base.name, prefixes))
             continue;
         ++gated;
+        if (poolDependent(base.name) &&
+            (basePool == 1.0 || freshPool == 1.0)) {
+            std::printf("%-32s SKIPPED: pool_threads == 1 in %s — "
+                        "pool speedup is noise on a single-core "
+                        "runner\n",
+                        base.name.c_str(),
+                        freshPool == 1.0
+                            ? (basePool == 1.0 ? "baseline and fresh"
+                                               : "fresh run")
+                            : "baseline");
+            continue;
+        }
         const Metric *now = find(fresh, base.name);
         if (now == nullptr) {
             std::fprintf(stderr,
