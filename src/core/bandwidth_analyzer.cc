@@ -22,8 +22,8 @@ BandwidthAnalyzer::BandwidthAnalyzer(AnalyzerConfig config)
     fatalIf(config_.clusterSizes.empty(),
             "BandwidthAnalyzer: no cluster sizes configured");
     for (std::size_t n : config_.clusterSizes)
-        fatalIf(n < 2 || n > 8,
-                "BandwidthAnalyzer: cluster sizes must be in [2, 8]");
+        fatalIf(n < 2 || n > 256,
+                "BandwidthAnalyzer: cluster sizes must be in [2, 256]");
     fatalIf(config_.meshesPerSize == 0,
             "BandwidthAnalyzer: meshesPerSize must be > 0");
     fatalIf(config_.dynamics != nullptr &&

@@ -47,7 +47,11 @@ namespace core {
 /** Analyzer configuration. */
 struct AnalyzerConfig
 {
-    /** Cluster sizes to collect for (paper: [2, Nmax]). */
+    /**
+     * Cluster sizes to collect for (paper: [2, Nmax]). Sizes beyond
+     * the 8 paper regions use RegionCatalog::scaledMesh metro zones,
+     * up to the 256-DC scale the mesh sweep exercises.
+     */
     std::vector<std::size_t> clusterSizes = {4, 6, 8};
 
     /** Mesh measurements per cluster size. */

@@ -50,6 +50,16 @@ RuntimeBwPredictor::predictMatrix(const net::Topology &topo,
                                   const BwMatrix &snapshotBw,
                                   const monitor::HostLoad &load) const
 {
+    PredictScratch scratch;
+    return predictMatrix(topo, snapshotBw, scratch, load);
+}
+
+BwMatrix
+RuntimeBwPredictor::predictMatrix(const net::Topology &topo,
+                                  const BwMatrix &snapshotBw,
+                                  PredictScratch &scratch,
+                                  const monitor::HostLoad &load) const
+{
     panicIf(!forest_.trained(), "RuntimeBwPredictor: not trained");
     const std::size_t n = topo.dcCount();
     fatalIf(snapshotBw.rows() != n || snapshotBw.cols() != n,
@@ -65,8 +75,10 @@ RuntimeBwPredictor::predictMatrix(const net::Topology &topo,
                 compiled.outputCount() != 1,
             "predictMatrix: forest shape mismatch");
     const std::size_t pairs = n * (n - 1);
-    std::vector<double> features(pairs * monitor::kFeatureCount);
-    std::vector<double> outputs(pairs);
+    scratch.features.resize(pairs * monitor::kFeatureCount);
+    scratch.outputs.resize(pairs);
+    std::vector<double> &features = scratch.features;
+    std::vector<double> &outputs = scratch.outputs;
 
     const std::size_t rows =
         monitor::matrixFeaturesInto(topo, snapshotBw, load,

@@ -21,6 +21,21 @@
 namespace wanify {
 namespace core {
 
+/**
+ * Caller-owned scratch for predictMatrix: the flat per-pair feature
+ * matrix and the batched-inference output buffer. A resident caller
+ * predicting every planning round (serve::Service) keeps one scratch
+ * per query and the hot path stops reallocating ~n^2 * kFeatureCount
+ * doubles per call; buffers grow to the largest mesh seen and stay.
+ * Not shareable across concurrent predictMatrix calls — give each
+ * worker its own.
+ */
+struct PredictScratch
+{
+    std::vector<double> features;
+    std::vector<double> outputs;
+};
+
 class RuntimeBwPredictor
 {
   public:
@@ -47,6 +62,13 @@ class RuntimeBwPredictor
      */
     BwMatrix predictMatrix(const net::Topology &topo,
                            const BwMatrix &snapshotBw,
+                           const monitor::HostLoad &load = {}) const;
+
+    /** predictMatrix with caller-owned buffers (see PredictScratch);
+     *  bit-identical to the allocating overload. */
+    BwMatrix predictMatrix(const net::Topology &topo,
+                           const BwMatrix &snapshotBw,
+                           PredictScratch &scratch,
                            const monitor::HostLoad &load = {}) const;
 
     bool trained() const { return forest_.trained(); }

@@ -8,6 +8,7 @@
 #include "common/error.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "gda/event_clock.hh"
 #include "monitor/features.hh"
 #include "scenario/forecast.hh"
 #include "scenario/scenario.hh"
@@ -233,6 +234,7 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
     std::uint64_t runSeed = seed_ + 0x9e37 * (++runCounter_);
     NetworkSim sim(topo_, simCfg_, runSeed);
     Rng rng(runSeed ^ 0xc0ffee);
+    const bool eventClock = opts.clock == ClockMode::EventDriven;
 
     // Scenario time zero is job start: install initial conditions
     // before WANify snapshots the network, so prediction and planning
@@ -528,15 +530,40 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
         }
 
         const Seconds shuffleStart = sim.now();
-        Seconds nextEpoch = shuffleStart + epoch;
         const Seconds guardEnd = shuffleStart + opts.maxStageSeconds;
 
+        // Both clock modes run the same loop over an EventClock; the
+        // epoch-quantized mode simply never schedules dynamics edges,
+        // which reduces the queue to the legacy min(nextEpoch,
+        // guardEnd) stride — identical runUntilAllComplete targets,
+        // identical arithmetic (each tick is pushed at the popped
+        // tick's time + epoch, the same accumulation the legacy
+        // `nextEpoch += epoch` performed).
+        EventClock clock;
+        clock.push(guardEnd, ClockEventKind::StageGuard);
+        clock.push(shuffleStart + epoch, ClockEventKind::EpochTick);
+        if (eventClock && opts.dynamics != nullptr) {
+            std::vector<scenario::ChangePoint> edges;
+            opts.dynamics->changePointsIn(shuffleStart, guardEnd,
+                                          edges);
+            for (const scenario::ChangePoint &cp : edges)
+                clock.push(cp.time,
+                           cp.kind == scenario::ChangeKind::Factor
+                               ? ClockEventKind::DynamicsChange
+                               : ClockEventKind::BurstEdge);
+        }
+
         while (!sim.allTransfersDone()) {
-            const Seconds target = std::min(nextEpoch, guardEnd);
-            sim.runUntilAllComplete(target);
+            panicIf(clock.empty(),
+                    "engine: event clock ran dry before the guard");
+            const ClockEvent ev = clock.pop();
+            // Stale events (a retrain consumed simulated time past
+            // them) make this a no-op; the handler below then applies
+            // dynamics at now() rather than rewinding to ev.time.
+            sim.runUntilAllComplete(ev.time);
             if (sim.allTransfersDone())
                 break;
-            if (sim.now() >= guardEnd) {
+            if (ev.kind == ClockEventKind::StageGuard) {
                 logging::warn("stage '" + spec.name +
                               "' hit the per-stage guard");
                 // Abort stragglers so they cannot leak into later
@@ -545,6 +572,15 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
                     sim.stopTransfer(id);
                 break;
             }
+            if (ev.kind != ClockEventKind::EpochTick) {
+                // A dynamics edge at its true instant: install the
+                // new conditions (and open/close bursts) mid-epoch.
+                // When the edge coincides with a tick, the tick pops
+                // first (kind order) and this is an idempotent no-op.
+                dynamics.advanceTo(sim.now());
+                continue;
+            }
+            Seconds tickBase = ev.time;
             for (auto &agent : agents)
                 agent->onEpoch();
             dynamics.advanceTo(sim.now());
@@ -561,7 +597,7 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
                         !opts.predictedBwOverride.has_value() &&
                         model != nullptr && model->trained()) {
                         retrainAndRedeploy(pending, assignment, s,
-                                           retired, nextEpoch);
+                                           retired, tickBase);
                     }
                     // With or without the adaptive path, the model
                     // is considered recalibrated on current
@@ -569,7 +605,7 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
                     drift.rebase(sim);
                 }
             }
-            nextEpoch += epoch;
+            clock.push(tickBase + epoch, ClockEventKind::EpochTick);
         }
 
         // Collect completion times per transfer.
@@ -625,12 +661,42 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
             stageEnd = std::max(stageEnd, transferDone[j] + compute);
             nextInput[j] = atJ * spec.selectivity;
         }
+        if (eventClock && opts.dynamics != nullptr) {
+            // Step through the window's burst edges so flash crowds
+            // open and close at their true instants even though the
+            // job itself moves no bytes here — the case the epoch
+            // clock structurally cannot express (a burst opening
+            // mid-compute used to wait for the phase to end). Factor
+            // edges only matter mid-compute while burst flows are
+            // live; with an idle mesh they are batched to the phase
+            // end exactly as the epoch clock does, which keeps the
+            // two clocks bit-identical on burst-free windows (no
+            // extra advanceBy splits).
+            std::vector<scenario::ChangePoint> edges;
+            opts.dynamics->changePointsIn(sim.now(), stageEnd, edges);
+            std::stable_sort(
+                edges.begin(), edges.end(),
+                [](const scenario::ChangePoint &a,
+                   const scenario::ChangePoint &b) {
+                    return a.time != b.time ? a.time < b.time
+                                            : a.kind < b.kind;
+                });
+            for (const scenario::ChangePoint &cp : edges) {
+                if (cp.kind == scenario::ChangeKind::Factor &&
+                    sim.activeTransferCount() == 0)
+                    continue;
+                if (cp.time > sim.now())
+                    sim.advanceBy(cp.time - sim.now());
+                dynamics.advanceTo(sim.now());
+            }
+        }
         if (stageEnd > sim.now())
             sim.advanceBy(stageEnd - sim.now());
         // Keep the scenario clock current through the compute phase
         // so the next stage's shuffle starts under the right
-        // conditions (epoch-level granularity is enough: rates only
-        // matter while transfers are active).
+        // conditions (for the epoch clock this is the only dynamics
+        // application of the phase: rates only matter while
+        // transfers are active).
         dynamics.advanceTo(sim.now());
         stageResult.end = sim.now();
 

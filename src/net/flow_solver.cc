@@ -12,14 +12,7 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/** A shared capacity constraint during progressive filling. */
-struct Resource
-{
-    Mbps cap = 0.0;
-    Mbps used = 0.0;
-    Bottleneck kind = Bottleneck::None;
-    std::vector<std::size_t> flows; ///< indices of flows crossing it
-};
+using Resource = SolverScratch::Resource;
 
 /** Binary search the sorted sparse group-share caps for (group, pair);
  *  returns the entry index or -1. */
@@ -55,7 +48,7 @@ bundleCap(int connections, Mbps capPerConn, const SolverConfig &cfg)
 
 std::vector<FlowRate>
 solveRates(const std::vector<FlowSpec> &flows, const SolverInputs &inputs,
-           const SolverConfig &cfg)
+           const SolverConfig &cfg, SolverScratch *scratch)
 {
     const std::size_t nf = flows.size();
     std::vector<FlowRate> result(nf);
@@ -66,117 +59,145 @@ solveRates(const std::vector<FlowSpec> &flows, const SolverInputs &inputs,
     panicIf(inputs.pathCap.size() != inputs.dcCount * inputs.dcCount,
             "solveRates: pathCap size mismatch");
 
+    SolverScratch local;
+    SolverScratch &s = scratch != nullptr ? *scratch : local;
+
+    // --- Hoisted group-share lookups --------------------------------------
+    // Each grouped flow's (group, pair) cap entry is needed twice (the
+    // desire pass and the resource build); resolve the binary search
+    // once per flow up front.
+    s.groupCapOfFlow.assign(nf, -1);
+    for (std::size_t f = 0; f < nf; ++f) {
+        if (flows[f].group == kNoFlowGroup)
+            continue;
+        const std::size_t pair =
+            flows[f].srcDc * inputs.dcCount + flows[f].dstDc;
+        s.groupCapOfFlow[f] =
+            findGroupCap(inputs.groupShareCap, flows[f].group, pair);
+    }
+
     // --- Per-VM connection overhead --------------------------------------
     // Total connections terminating at each VM shrink its effective
     // capacities (memory buffers per connection; see SolverConfig).
-    std::vector<int> connsAtVm(inputs.vmEgressCap.size(), 0);
+    s.connsAtVm.assign(inputs.vmEgressCap.size(), 0);
     // Aggregate desire (bundle capability clipped by tc limits)
     // crossing each VM, for the oversubscription-waste term.
-    std::vector<Mbps> desireAtVm(inputs.vmEgressCap.size(), 0.0);
-    for (const auto &f : flows) {
-        const int c = std::max(1, f.connections);
-        Mbps desire = bundleCap(c, f.capPerConn, cfg);
+    s.desireAtVm.assign(inputs.vmEgressCap.size(), 0.0);
+    for (std::size_t f = 0; f < nf; ++f) {
+        const FlowSpec &spec = flows[f];
+        const int c = std::max(1, spec.connections);
+        Mbps desire = bundleCap(c, spec.capPerConn, cfg);
         const std::size_t pair =
-            f.srcDc * inputs.dcCount + f.dstDc;
+            spec.srcDc * inputs.dcCount + spec.dstDc;
         if (pair < inputs.tcLimit.size() &&
             inputs.tcLimit[pair] > 0.0)
             desire = std::min(desire, inputs.tcLimit[pair]);
-        if (f.group != kNoFlowGroup) {
-            const int gc = findGroupCap(inputs.groupShareCap,
-                                        f.group, pair);
-            if (gc >= 0 && inputs.groupShareCap
-                                   [static_cast<std::size_t>(gc)]
-                                       .cap > 0.0)
-                desire = std::min(
-                    desire,
-                    inputs.groupShareCap
-                        [static_cast<std::size_t>(gc)]
-                            .cap);
+        const int gc = s.groupCapOfFlow[f];
+        if (gc >= 0 &&
+            inputs.groupShareCap[static_cast<std::size_t>(gc)].cap >
+                0.0)
+            desire = std::min(
+                desire,
+                inputs.groupShareCap[static_cast<std::size_t>(gc)]
+                    .cap);
+        if (spec.srcVm < s.connsAtVm.size()) {
+            s.connsAtVm[spec.srcVm] += c;
+            s.desireAtVm[spec.srcVm] += desire;
         }
-        if (f.srcVm < connsAtVm.size()) {
-            connsAtVm[f.srcVm] += c;
-            desireAtVm[f.srcVm] += desire;
-        }
-        if (f.dstVm < connsAtVm.size()) {
-            connsAtVm[f.dstVm] += c;
-            desireAtVm[f.dstVm] += desire;
+        if (spec.dstVm < s.connsAtVm.size()) {
+            s.connsAtVm[spec.dstVm] += c;
+            s.desireAtVm[spec.dstVm] += desire;
         }
     }
     auto vmPenalty = [&](std::size_t vm) {
         const int excess =
-            std::max(0, connsAtVm[vm] - cfg.vmConnKnee);
+            std::max(0, s.connsAtVm[vm] - cfg.vmConnKnee);
         double penalty = 1.0 + cfg.vmConnAlpha *
                                    static_cast<double>(excess);
         // Oversubscription waste against the VM's NIC capacity.
         const Mbps nic = vm < inputs.vmNicCap.size()
                              ? inputs.vmNicCap[vm]
                              : 0.0;
-        if (nic > 0.0 && desireAtVm[vm] > nic) {
+        if (nic > 0.0 && s.desireAtVm[vm] > nic) {
             penalty *= 1.0 + cfg.oversubAlpha *
-                                 (desireAtVm[vm] / nic - 1.0);
+                                 (s.desireAtVm[vm] / nic - 1.0);
         }
         return 1.0 / penalty;
     };
 
     // --- Build resources ------------------------------------------------
-    std::vector<Resource> resources;
+    // Resource records are pooled: entries up to resourceCount are
+    // live this call, later entries are capacity kept from prior
+    // calls (their flows vectors keep their heap buffers).
+    std::vector<Resource> &resources = s.resources;
+    std::size_t resourceCount = 0;
     // Dense maps from (vm or pair) to resource index; -1 = not created.
-    std::vector<int> egressIdx(inputs.vmEgressCap.size(), -1);
-    std::vector<int> ingressIdx(inputs.vmIngressCap.size(), -1);
-    std::vector<int> nicIdx(inputs.vmNicCap.size(), -1);
-    std::vector<int> pathIdx(inputs.pathCap.size(), -1);
-    std::vector<int> tcIdx(inputs.tcLimit.size(), -1);
-    std::vector<int> groupCapIdx(inputs.groupShareCap.size(), -1);
+    s.egressIdx.assign(inputs.vmEgressCap.size(), -1);
+    s.ingressIdx.assign(inputs.vmIngressCap.size(), -1);
+    s.nicIdx.assign(inputs.vmNicCap.size(), -1);
+    s.pathIdx.assign(inputs.pathCap.size(), -1);
+    s.tcIdx.assign(inputs.tcLimit.size(), -1);
+    s.groupCapIdx.assign(inputs.groupShareCap.size(), -1);
 
     auto getResource = [&](std::vector<int> &map, std::size_t key,
                            Mbps cap, Bottleneck kind) -> int {
         panicIf(key >= map.size(), "solveRates: resource key out of range");
         if (map[key] < 0) {
-            map[key] = static_cast<int>(resources.size());
-            resources.push_back({cap, 0.0, kind, {}});
+            map[key] = static_cast<int>(resourceCount);
+            if (resourceCount == resources.size())
+                resources.emplace_back();
+            Resource &res = resources[resourceCount];
+            res.cap = cap;
+            res.used = 0.0;
+            res.kind = kind;
+            res.flows.clear();
+            ++resourceCount;
         }
         return map[key];
     };
 
     // Per-flow bookkeeping.
-    std::vector<double> weight(nf, 0.0);
-    std::vector<Mbps> selfCap(nf, 0.0);
-    std::vector<std::vector<int>> flowResources(nf);
-    std::vector<bool> active(nf, false);
+    s.weight.assign(nf, 0.0);
+    s.selfCap.assign(nf, 0.0);
+    if (s.flowResources.size() < nf)
+        s.flowResources.resize(nf);
+    for (std::size_t f = 0; f < nf; ++f)
+        s.flowResources[f].clear();
+    s.active.assign(nf, 0);
 
     for (std::size_t f = 0; f < nf; ++f) {
         const FlowSpec &spec = flows[f];
         panicIf(spec.srcVm >= inputs.vmEgressCap.size() ||
                     spec.dstVm >= inputs.vmIngressCap.size(),
                 "solveRates: VM id out of range");
-        weight[f] = spec.weightPerConn *
-                    static_cast<double>(std::max(1, spec.connections));
-        selfCap[f] = bundleCap(std::max(1, spec.connections),
-                               spec.capPerConn, cfg);
-        if (weight[f] <= 0.0 || selfCap[f] <= cfg.epsilon) {
+        s.weight[f] = spec.weightPerConn *
+                      static_cast<double>(std::max(1, spec.connections));
+        s.selfCap[f] = bundleCap(std::max(1, spec.connections),
+                                 spec.capPerConn, cfg);
+        if (s.weight[f] <= 0.0 || s.selfCap[f] <= cfg.epsilon) {
             result[f] = {0.0, Bottleneck::SelfCap};
             continue;
         }
-        active[f] = true;
+        s.active[f] = 1;
 
-        auto &fr = flowResources[f];
+        auto &fr = s.flowResources[f];
         fr.push_back(getResource(
-            egressIdx, spec.srcVm,
+            s.egressIdx, spec.srcVm,
             inputs.vmEgressCap[spec.srcVm] * vmPenalty(spec.srcVm),
             Bottleneck::SrcVm));
         fr.push_back(getResource(
-            ingressIdx, spec.dstVm,
+            s.ingressIdx, spec.dstVm,
             inputs.vmIngressCap[spec.dstVm] * vmPenalty(spec.dstVm),
             Bottleneck::DstVm));
         if (spec.srcVm < inputs.vmNicCap.size()) {
             fr.push_back(getResource(
-                nicIdx, spec.srcVm,
+                s.nicIdx, spec.srcVm,
                 inputs.vmNicCap[spec.srcVm] * vmPenalty(spec.srcVm),
                 Bottleneck::NicTotal));
         }
         if (spec.dstVm < inputs.vmNicCap.size()) {
             fr.push_back(getResource(
-                nicIdx, spec.dstVm,
+                s.nicIdx, spec.dstVm,
                 inputs.vmNicCap[spec.dstVm] * vmPenalty(spec.dstVm),
                 Bottleneck::NicTotal));
         }
@@ -185,25 +206,21 @@ solveRates(const std::vector<FlowSpec> &flows, const SolverInputs &inputs,
             spec.srcDc * inputs.dcCount + spec.dstDc;
         panicIf(pair >= inputs.pathCap.size(),
                 "solveRates: pair index out of range");
-        fr.push_back(getResource(pathIdx, pair, inputs.pathCap[pair],
+        fr.push_back(getResource(s.pathIdx, pair, inputs.pathCap[pair],
                                  Bottleneck::Path));
         if (pair < inputs.tcLimit.size() && inputs.tcLimit[pair] > 0.0) {
-            fr.push_back(getResource(tcIdx, pair, inputs.tcLimit[pair],
+            fr.push_back(getResource(s.tcIdx, pair,
+                                     inputs.tcLimit[pair],
                                      Bottleneck::TcLimit));
         }
-        if (spec.group != kNoFlowGroup) {
-            const int gc = findGroupCap(inputs.groupShareCap,
-                                        spec.group, pair);
-            if (gc >= 0) {
-                const auto &entry =
-                    inputs.groupShareCap[static_cast<std::size_t>(
-                        gc)];
-                if (entry.cap > 0.0) {
-                    fr.push_back(getResource(
-                        groupCapIdx,
-                        static_cast<std::size_t>(gc), entry.cap,
-                        Bottleneck::GroupShare));
-                }
+        const int gc = s.groupCapOfFlow[f];
+        if (gc >= 0) {
+            const auto &entry =
+                inputs.groupShareCap[static_cast<std::size_t>(gc)];
+            if (entry.cap > 0.0) {
+                fr.push_back(getResource(
+                    s.groupCapIdx, static_cast<std::size_t>(gc),
+                    entry.cap, Bottleneck::GroupShare));
             }
         }
         for (int r : fr)
@@ -214,75 +231,120 @@ solveRates(const std::vector<FlowSpec> &flows, const SolverInputs &inputs,
     // All active flows grow their rate proportionally to their weight
     // until either their own capability or a shared resource saturates;
     // saturated flows freeze and the rest continue.
+    //
+    // The fill is event-driven. With every active flow growing as
+    // rate_f = weight_f * theta for a single global fill level theta,
+    // each flow's self-cap event sits at the constant key
+    // selfCap_f / weight_f, and each resource's saturation key
+    // (cap_r - frozenUsed_r) / wsum_r only moves when one of its
+    // flows freezes. A lazy min-heap over those keys replaces the
+    // naive per-step rescan of every resource and flow — O((flows +
+    // resources) log) total instead of O(flows * (memberships +
+    // resources)) — which is most of bench_perf_mesh_scale's
+    // resolveRates win at 128-256 DCs. Ties pop flows before
+    // resources, then ascending id, so same-key freezes keep the
+    // naive loop's deterministic order.
     std::size_t remaining = 0;
     for (std::size_t f = 0; f < nf; ++f)
-        remaining += active[f] ? 1 : 0;
+        remaining += s.active[f] != 0 ? 1 : 0;
 
-    auto freezeFlow = [&](std::size_t f, Bottleneck why) {
-        if (!active[f])
-            return;
-        active[f] = false;
-        result[f].bottleneck = why;
-        --remaining;
-    };
-
-    // Pre-freeze flows crossing a zero-capacity resource.
-    for (std::size_t r = 0; r < resources.size(); ++r) {
-        if (resources[r].cap <= cfg.epsilon) {
-            for (std::size_t f : resources[r].flows)
-                freezeFlow(f, resources[r].kind);
+    s.frozenUsed.assign(resourceCount, 0.0);
+    s.wsum.assign(resourceCount, 0.0);
+    s.activeAtResource.assign(resourceCount, 0);
+    s.satKey.assign(resourceCount, kInf);
+    for (std::size_t f = 0; f < nf; ++f) {
+        if (s.active[f] == 0)
+            continue;
+        for (int r : s.flowResources[f]) {
+            s.wsum[static_cast<std::size_t>(r)] += s.weight[f];
+            ++s.activeAtResource[static_cast<std::size_t>(r)];
         }
     }
 
-    std::size_t guard = 0;
-    const std::size_t maxIterations = 2 * nf + resources.size() + 4;
-    while (remaining > 0) {
-        panicIf(++guard > maxIterations,
-                "solveRates: progressive filling did not converge");
+    auto &heap = s.heap;
+    heap.clear();
+    auto heapLater = [](const SolverScratch::FillEvent &a,
+                        const SolverScratch::FillEvent &b) {
+        if (a.key != b.key)
+            return a.key > b.key;
+        if (a.kind != b.kind)
+            return a.kind > b.kind;
+        return a.id > b.id;
+    };
+    auto pushEvent = [&](double key, int kind, std::size_t id) {
+        heap.push_back({key, kind, id});
+        std::push_heap(heap.begin(), heap.end(), heapLater);
+    };
 
-        // Smallest growth step theta over resources and self caps.
-        double theta = kInf;
-        for (const auto &res : resources) {
-            double wsum = 0.0;
-            for (std::size_t f : res.flows)
-                if (active[f])
-                    wsum += weight[f];
-            if (wsum <= 0.0)
+    auto freezeFlow = [&](std::size_t f, Mbps rate, Bottleneck why) {
+        if (s.active[f] == 0)
+            return;
+        s.active[f] = 0;
+        result[f].rate = rate;
+        result[f].bottleneck = why;
+        --remaining;
+        for (int ri : s.flowResources[f]) {
+            const std::size_t r = static_cast<std::size_t>(ri);
+            s.frozenUsed[r] += rate;
+            s.wsum[r] -= s.weight[f];
+            if (--s.activeAtResource[r] == 0) {
+                // Dead for good: a frozen flow never reactivates.
+                s.satKey[r] = kInf;
                 continue;
-            theta = std::min(theta, (res.cap - res.used) / wsum);
-        }
-        for (std::size_t f = 0; f < nf; ++f) {
-            if (!active[f])
-                continue;
-            theta = std::min(theta,
-                             (selfCap[f] - result[f].rate) / weight[f]);
-        }
-        if (theta == kInf)
-            break; // nothing constrains the remaining flows
-        theta = std::max(theta, 0.0);
-
-        // Grow every active flow by weight * theta.
-        for (std::size_t f = 0; f < nf; ++f) {
-            if (!active[f])
-                continue;
-            const double delta = weight[f] * theta;
-            result[f].rate += delta;
-            for (int r : flowResources[f])
-                resources[static_cast<std::size_t>(r)].used += delta;
-        }
-
-        // Freeze flows that reached their own capability.
-        for (std::size_t f = 0; f < nf; ++f) {
-            if (active[f] && result[f].rate >= selfCap[f] - cfg.epsilon)
-                freezeFlow(f, Bottleneck::SelfCap);
-        }
-        // Freeze flows on saturated resources.
-        for (const auto &res : resources) {
-            if (res.used >= res.cap - cfg.epsilon) {
-                for (std::size_t f : res.flows)
-                    freezeFlow(f, res.kind);
             }
+            const double slack =
+                std::max(resources[r].cap - s.frozenUsed[r], 0.0);
+            s.satKey[r] = slack / s.wsum[r];
+            pushEvent(s.satKey[r], 1, r);
         }
+    };
+
+    // Pre-freeze flows crossing a zero-capacity resource.
+    for (std::size_t r = 0; r < resourceCount; ++r) {
+        if (resources[r].cap <= cfg.epsilon) {
+            for (std::size_t f : resources[r].flows)
+                freezeFlow(f, 0.0, resources[r].kind);
+        }
+    }
+
+    // Initial events: one per still-active flow (self capability) and
+    // one per resource that still carries active flows. Entries made
+    // stale by pre-freeze pushes are discarded by the key check below.
+    for (std::size_t f = 0; f < nf; ++f)
+        if (s.active[f] != 0)
+            pushEvent(s.selfCap[f] / s.weight[f], 0, f);
+    for (std::size_t r = 0; r < resourceCount; ++r) {
+        if (s.activeAtResource[r] == 0)
+            continue;
+        const double slack =
+            std::max(resources[r].cap - s.frozenUsed[r], 0.0);
+        s.satKey[r] = slack / s.wsum[r];
+        pushEvent(s.satKey[r], 1, r);
+    }
+
+    std::size_t guard = 0;
+    const std::size_t maxEvents = 8 * (nf + resourceCount) + 64;
+    while (remaining > 0 && !heap.empty()) {
+        panicIf(++guard > maxEvents,
+                "solveRates: progressive filling did not converge");
+        std::pop_heap(heap.begin(), heap.end(), heapLater);
+        const SolverScratch::FillEvent ev = heap.back();
+        heap.pop_back();
+        if (ev.kind == 0) {
+            if (s.active[ev.id] != 0)
+                freezeFlow(ev.id, s.selfCap[ev.id],
+                           Bottleneck::SelfCap);
+            continue;
+        }
+        // Resource saturation; skip entries a later freeze re-keyed.
+        const std::size_t r = ev.id;
+        if (s.activeAtResource[r] == 0 || ev.key != s.satKey[r])
+            continue;
+        const double theta = ev.key;
+        for (std::size_t f : resources[r].flows)
+            if (s.active[f] != 0)
+                freezeFlow(f, s.weight[f] * theta,
+                           resources[r].kind);
     }
 
     return result;

@@ -177,13 +177,68 @@ struct SolverConfig
 Mbps bundleCap(int connections, Mbps capPerConn, const SolverConfig &cfg);
 
 /**
+ * Reusable per-call workspace for solveRates.
+ *
+ * A solve allocates a dozen bookkeeping vectors whose sizes repeat
+ * call to call (per-VM, per-pair, per-flow). A caller that solves
+ * every simulated tick (NetworkSim) keeps one scratch alive so steady
+ * state allocates nothing. Contents are meaningless between calls.
+ */
+struct SolverScratch
+{
+    struct Resource
+    {
+        Mbps cap = 0.0;
+        Mbps used = 0.0;
+        Bottleneck kind = Bottleneck::None;
+        std::vector<std::size_t> flows;
+    };
+
+    std::vector<int> connsAtVm;
+    std::vector<Mbps> desireAtVm;
+    std::vector<Resource> resources;
+    std::vector<int> egressIdx;
+    std::vector<int> ingressIdx;
+    std::vector<int> nicIdx;
+    std::vector<int> pathIdx;
+    std::vector<int> tcIdx;
+    std::vector<int> groupCapIdx;
+    std::vector<int> groupCapOfFlow;
+    std::vector<double> weight;
+    std::vector<Mbps> selfCap;
+    std::vector<std::vector<int>> flowResources;
+    std::vector<char> active;
+
+    // Event-driven water-fill state: per-resource active weight sums,
+    // capacity already pinned by frozen flows, live flow counts, the
+    // current saturation key (stale heap entries are discarded by
+    // comparing against it), and the lazy min-heap of fill events.
+    struct FillEvent
+    {
+        double key = 0.0;    ///< fill level theta of the event
+        int kind = 0;        ///< 0 = flow self-cap, 1 = resource
+        std::size_t id = 0;  ///< flow or resource index
+    };
+
+    std::vector<double> wsum;
+    std::vector<double> frozenUsed;
+    std::vector<int> activeAtResource;
+    std::vector<double> satKey;
+    std::vector<FillEvent> heap;
+};
+
+/**
  * Allocate rates to all flows with weighted progressive filling.
+ *
+ * @p scratch, when given, pools the solver's internal buffers across
+ * calls (identical results either way).
  *
  * @return One FlowRate per input flow, in order.
  */
 std::vector<FlowRate> solveRates(const std::vector<FlowSpec> &flows,
                                  const SolverInputs &inputs,
-                                 const SolverConfig &cfg = {});
+                                 const SolverConfig &cfg = {},
+                                 SolverScratch *scratch = nullptr);
 
 } // namespace net
 } // namespace wanify

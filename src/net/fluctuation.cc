@@ -74,15 +74,18 @@ FluctuationBank::FluctuationBank(std::size_t pairs,
 {
     Rng master(seed);
     processes_.reserve(pairs);
-    for (std::size_t i = 0; i < pairs; ++i)
+    multipliers_.reserve(pairs);
+    for (std::size_t i = 0; i < pairs; ++i) {
         processes_.emplace_back(params, master.split());
+        multipliers_.push_back(processes_.back().multiplier());
+    }
 }
 
 void
 FluctuationBank::step(Seconds dt)
 {
-    for (auto &p : processes_)
-        p.step(dt);
+    for (std::size_t i = 0; i < processes_.size(); ++i)
+        multipliers_[i] = processes_[i].step(dt);
 }
 
 double
@@ -90,7 +93,7 @@ FluctuationBank::multiplier(std::size_t index) const
 {
     panicIf(index >= processes_.size(),
             "FluctuationBank: index out of range");
-    return processes_[index].multiplier();
+    return multipliers_[index];
 }
 
 } // namespace net

@@ -71,6 +71,11 @@ class OuProcess
 /**
  * A bank of independent OU processes, one per DC pair, indexed by a
  * caller-chosen dense pair index.
+ *
+ * Multipliers are cached in a flat vector refreshed on every step, so
+ * hot paths that compose all pairs (NetworkSim::resolveRates over the
+ * whole mesh) read a contiguous array instead of paying one exp() per
+ * pair per solve.
  */
 class FluctuationBank
 {
@@ -84,10 +89,17 @@ class FluctuationBank
     /** Capacity multiplier of pair @p index. */
     double multiplier(std::size_t index) const;
 
+    /** All multipliers, indexed by pair — valid until the next step. */
+    const std::vector<double> &multipliers() const
+    {
+        return multipliers_;
+    }
+
     std::size_t size() const { return processes_.size(); }
 
   private:
     std::vector<OuProcess> processes_;
+    std::vector<double> multipliers_;
 };
 
 } // namespace net

@@ -32,6 +32,7 @@ NetworkSim::NetworkSim(Topology topology, NetworkSimConfig config,
                        std::uint64_t seed)
     : topology_(std::move(topology)),
       config_(config),
+      pairs_(topology_.dcCount()),
       fluctuation_(topology_.pairCount(), config.fluctuation, seed),
       vmFluctuation_(topology_.vmCount(),
                      vmFluctuationParams(config.fluctuation),
@@ -44,6 +45,36 @@ NetworkSim::NetworkSim(Topology topology, NetworkSimConfig config,
 {
     fatalIf(config_.tickInterval <= 0.0,
             "NetworkSim: tickInterval must be positive");
+
+    // Unpack the immutable per-pair topology quantities into flat
+    // PairIndex-layout banks once, so resolveRates composes arrays
+    // instead of chasing matrix accessors.
+    const std::size_t n = topology_.dcCount();
+    basePathCap_.resize(pairs_.size());
+    connCapFlat_.resize(pairs_.size());
+    baseRtt_.resize(pairs_.size());
+    routeQualityFlat_.resize(pairs_.size());
+    pairWeight_.resize(pairs_.size());
+    for (DcId i = 0; i < n; ++i) {
+        for (DcId j = 0; j < n; ++j) {
+            const std::size_t p = pairs_(i, j);
+            basePathCap_[p] = topology_.pathCap(i, j);
+            connCapFlat_[p] = topology_.connCap(i, j);
+            baseRtt_[p] = topology_.rttSeconds(i, j);
+            routeQualityFlat_[p] = topology_.routeQuality(i, j);
+        }
+    }
+    vmWanCap_.resize(topology_.vmCount());
+    vmNicCap_.resize(topology_.vmCount());
+    for (VmId v = 0; v < topology_.vmCount(); ++v) {
+        vmWanCap_[v] = topology_.vm(v).type.wanCapMbps;
+        vmNicCap_[v] = topology_.vm(v).type.nicCapMbps;
+    }
+    inputs_.dcCount = n;
+    inputs_.vmEgressCap.resize(topology_.vmCount());
+    inputs_.vmIngressCap.resize(topology_.vmCount());
+    inputs_.vmNicCap.resize(topology_.vmCount());
+    inputs_.pathCap.resize(pairs_.size());
 }
 
 TransferId
@@ -144,6 +175,7 @@ NetworkSim::setScenarioRttFactor(DcId src, DcId dst, double factor)
     if (scenarioRtt_[pair] != factor) {
         scenarioRtt_[pair] = factor;
         ratesDirty_ = true;
+        weightsDirty_ = true;
     }
 }
 
@@ -153,6 +185,7 @@ NetworkSim::clearScenarioFactors()
     std::fill(scenarioCap_.begin(), scenarioCap_.end(), 1.0);
     std::fill(scenarioRtt_.begin(), scenarioRtt_.end(), 1.0);
     ratesDirty_ = true;
+    weightsDirty_ = true;
 }
 
 double
@@ -175,6 +208,7 @@ NetworkSim::setGroupWeight(FlowGroupId group, double weight)
             "setGroupWeight: weight must be finite and > 0");
     groups_[group].weight = weight;
     ratesDirty_ = true;
+    groupsDirty_ = true;
 }
 
 void
@@ -184,22 +218,38 @@ NetworkSim::setGroupPairCap(FlowGroupId group, DcId src, DcId dst,
     fatalIf(group == 0, "setGroupPairCap: group 0 is ungrouped");
     fatalIf(!std::isfinite(cap), "setGroupPairCap: cap must be finite");
     const std::size_t pair = topology_.pairIndex(src, dst);
+    auto lookup = [pair](GroupState &state) {
+        return std::lower_bound(
+            state.pairCap.begin(), state.pairCap.end(), pair,
+            [](const std::pair<std::size_t, Mbps> &e,
+               std::size_t key) { return e.first < key; });
+    };
     if (cap > 0.0) {
-        groups_[group].pairCap[pair] = cap;
+        GroupState &state = groups_[group];
+        auto it = lookup(state);
+        if (it != state.pairCap.end() && it->first == pair)
+            it->second = cap;
+        else
+            state.pairCap.insert(it, {pair, cap});
     } else {
-        auto it = groups_.find(group);
-        if (it == groups_.end())
+        auto git = groups_.find(group);
+        if (git == groups_.end())
             return;
-        it->second.pairCap.erase(pair);
+        auto it = lookup(git->second);
+        if (it != git->second.pairCap.end() && it->first == pair)
+            git->second.pairCap.erase(it);
     }
     ratesDirty_ = true;
+    groupsDirty_ = true;
 }
 
 void
 NetworkSim::clearGroupAllocations(FlowGroupId group)
 {
-    if (groups_.erase(group) > 0)
+    if (groups_.erase(group) > 0) {
         ratesDirty_ = true;
+        groupsDirty_ = true;
+    }
 }
 
 Mbps
@@ -236,8 +286,114 @@ NetworkSim::groupTransferCount(FlowGroupId group) const
 }
 
 void
+NetworkSim::rebuildPairWeights()
+{
+    // RTT bias of TCP sharing: weight ~ 1/RTT^2, consistent with
+    // the Mathis-law per-connection caps (see flow_solver.hh).
+    // Route quality makes lossy backbone paths *timid* under
+    // contention without affecting their solo throughput — the
+    // asymmetry that makes statically measured BWs mis-rank links
+    // at runtime (Table 1 / Section 2.2).
+    for (std::size_t p = 0; p < pairs_.size(); ++p) {
+        const Seconds rtt =
+            std::max(baseRtt_[p] * scenarioRtt_[p], 1.0e-3);
+        pairWeight_[p] = routeQualityFlat_[p] / (rtt * rtt);
+    }
+    weightsDirty_ = false;
+}
+
+void
+NetworkSim::rebuildGroupInputs()
+{
+    // Allocator state: groups_ keys map to dense solver indices in
+    // ascending id order (deterministic), and each group's sparse
+    // share caps land pre-sorted by (group, pair) because the map
+    // iterates in key order and each cap vector is kept sorted.
+    denseGroup_.clear();
+    inputs_.groupShareCap.clear();
+    for (const auto &[g, state] : groups_) {
+        const std::size_t dense = denseGroup_.size();
+        denseGroup_.emplace(g, dense);
+        for (const auto &[pair, cap] : state.pairCap)
+            inputs_.groupShareCap.push_back({dense, pair, cap});
+    }
+    groupsDirty_ = false;
+}
+
+void
 NetworkSim::resolveRates()
 {
+    if (config_.referenceSolverInputs) {
+        resolveRatesReference();
+        return;
+    }
+    const std::size_t n = topology_.dcCount();
+
+    // One branch-free composition pass per bank: cached fluctuation
+    // multipliers x scenario factors over the flat base arrays, then
+    // the diagonal fixed up to nominal (legacy used multiplier 1
+    // there; self-pairs carry no WAN transfers either way).
+    const std::vector<double> &vmMult = vmFluctuation_.multipliers();
+    for (VmId v = 0; v < vmWanCap_.size(); ++v) {
+        const double wobble = vmMult[v];
+        inputs_.vmEgressCap[v] = vmWanCap_[v] * wobble;
+        inputs_.vmIngressCap[v] = vmWanCap_[v] * wobble;
+        inputs_.vmNicCap[v] = vmNicCap_[v] * wobble;
+    }
+    const std::vector<double> &mult = fluctuation_.multipliers();
+    for (std::size_t p = 0; p < pairs_.size(); ++p)
+        inputs_.pathCap[p] =
+            basePathCap_[p] * (mult[p] * scenarioCap_[p]);
+    for (DcId i = 0; i < n; ++i)
+        inputs_.pathCap[pairs_(i, i)] = basePathCap_[pairs_(i, i)];
+    inputs_.tcLimit = tcLimits_;
+
+    if (groupsDirty_)
+        rebuildGroupInputs();
+    if (weightsDirty_)
+        rebuildPairWeights();
+
+    specs_.clear();
+    specs_.reserve(transfers_.size());
+    for (const auto &[id, t] : transfers_) {
+        FlowSpec spec;
+        spec.srcVm = t.srcVm;
+        spec.dstVm = t.dstVm;
+        spec.srcDc = t.srcDc;
+        spec.dstDc = t.dstDc;
+        spec.connections = t.connections;
+        const std::size_t pair = pairs_(t.srcDc, t.dstDc);
+        spec.weightPerConn = pairWeight_[pair];
+        spec.capPerConn = connCapFlat_[pair];
+        if (t.group != 0) {
+            auto g = groups_.find(t.group);
+            if (g != groups_.end()) {
+                spec.weightPerConn *= g->second.weight;
+                spec.group = denseGroup_.at(t.group);
+            }
+        }
+        specs_.push_back(spec);
+    }
+
+    const auto rates =
+        solveRates(specs_, inputs_, config_.solver, &solverScratch_);
+    std::size_t i = 0;
+    for (auto &[id, t] : transfers_) {
+        t.rate = rates[i].rate;
+        t.bottleneck = rates[i].bottleneck;
+        ++i;
+    }
+    ratesDirty_ = false;
+}
+
+void
+NetworkSim::resolveRatesReference()
+{
+    // The pre-flat input builder, preserved verbatim: fresh map-keyed
+    // structures and matrix accessors every call. resolveRates() must
+    // stay bit-identical to this (net_test asserts it on the 8-DC
+    // golden mesh); bench_perf_mesh_scale times the two against each
+    // other.
     const std::size_t n = topology_.dcCount();
 
     SolverInputs inputs;
@@ -264,10 +420,6 @@ NetworkSim::resolveRates()
     }
     inputs.tcLimit = tcLimits_;
 
-    // Allocator state: groups_ keys map to dense solver indices in
-    // ascending id order (deterministic), and each group's sparse
-    // share caps land pre-sorted by (group, pair) because both maps
-    // iterate in key order.
     std::map<FlowGroupId, std::size_t> denseGroup;
     for (const auto &[g, state] : groups_) {
         const std::size_t dense = denseGroup.size();
@@ -287,12 +439,6 @@ NetworkSim::resolveRates()
         spec.srcDc = t.srcDc;
         spec.dstDc = t.dstDc;
         spec.connections = t.connections;
-        // RTT bias of TCP sharing: weight ~ 1/RTT^2, consistent with
-        // the Mathis-law per-connection caps (see flow_solver.hh).
-        // Route quality makes lossy backbone paths *timid* under
-        // contention without affecting their solo throughput — the
-        // asymmetry that makes statically measured BWs mis-rank links
-        // at runtime (Table 1 / Section 2.2).
         const Seconds rtt = std::max(
             topology_.rttSeconds(t.srcDc, t.dstDc) *
                 scenarioRtt_[topology_.pairIndex(t.srcDc, t.dstDc)],

@@ -25,6 +25,7 @@
 #include "common/units.hh"
 #include "net/flow_solver.hh"
 #include "net/fluctuation.hh"
+#include "net/pair_index.hh"
 #include "net/topology.hh"
 
 namespace wanify {
@@ -68,6 +69,15 @@ struct NetworkSimConfig
 
     FluctuationParams fluctuation;
     SolverConfig solver;
+
+    /**
+     * Build solver inputs the pre-flat way (fresh map-keyed
+     * structures every resolve) instead of composing the persistent
+     * flat per-pair arrays. Bit-identical results either way — kept
+     * as the parity reference and the honest "before" arm of
+     * bench_perf_mesh_scale's resolveRates speedup.
+     */
+    bool referenceSolverInputs = false;
 };
 
 class NetworkSim
@@ -247,12 +257,21 @@ class NetworkSim
     {
         double weight = 1.0;
 
-        /** Share cap per ordered pair index; absent = uncapped. */
-        std::map<std::size_t, Mbps> pairCap;
+        /** Share caps as (pair index, cap), sorted by pair. */
+        std::vector<std::pair<std::size_t, Mbps>> pairCap;
     };
 
     /** Recompute rates for the current flow set. */
     void resolveRates();
+
+    /** Legacy map-keyed input build (parity reference + bench arm). */
+    void resolveRatesReference();
+
+    /** Refresh pairWeight_ from the scenario RTT factors. */
+    void rebuildPairWeights();
+
+    /** Refresh denseGroup_ + the solver's sparse group share caps. */
+    void rebuildGroupInputs();
 
     /** Earliest finite-transfer completion horizon at current rates. */
     Seconds nextCompletionIn() const;
@@ -266,6 +285,7 @@ class NetworkSim
 
     Topology topology_;
     NetworkSimConfig config_;
+    PairIndex pairs_;
     FluctuationBank fluctuation_;
 
     /** Per-VM capacity fluctuation (burst arbitration, noisy
@@ -285,6 +305,25 @@ class NetworkSim
     std::vector<double> scenarioCap_; ///< per ordered pair; default 1
     std::vector<double> scenarioRtt_; ///< per ordered pair; default 1
     Matrix<Bytes> pairBytes_;
+
+    // --- flat per-pair hot-path state (see resolveRates) -------------------
+    // Immutable topology quantities unpacked once into PairIndex
+    // layout, plus the persistent solver inputs/scratch so a resolve
+    // in steady state is one branch-free composition pass over
+    // contiguous arrays with no allocation.
+    std::vector<Mbps> basePathCap_;    ///< topology pathCap, flat
+    std::vector<Mbps> connCapFlat_;    ///< topology connCap, flat
+    std::vector<Seconds> baseRtt_;     ///< topology rttSeconds, flat
+    std::vector<double> routeQualityFlat_;
+    std::vector<double> pairWeight_;   ///< routeQuality / rtt², flat
+    std::vector<Mbps> vmWanCap_;       ///< per-VM WAN cap, unwobbled
+    std::vector<Mbps> vmNicCap_;       ///< per-VM NIC cap, unwobbled
+    bool weightsDirty_ = true;         ///< pairWeight_ needs rebuild
+    bool groupsDirty_ = true;          ///< group share caps changed
+    std::map<FlowGroupId, std::size_t> denseGroup_;
+    SolverInputs inputs_;
+    SolverScratch solverScratch_;
+    std::vector<FlowSpec> specs_;
 };
 
 } // namespace net

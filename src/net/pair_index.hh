@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Dense ordered-DC-pair indexing for flat per-pair state banks.
+ *
+ * Every hot per-pair structure in the simulator and the serve layer
+ * (capacity factors, RTT factors, solver inputs, contended-pair
+ * claims) keys on the same dense index `src * n + dst`. PairIndex
+ * names that convention once so flat arrays across layers agree on
+ * layout, and gives the iteration helpers the hot loops share.
+ *
+ * The layout is row-major over ordered pairs, diagonal included: for
+ * n DCs there are n*n slots, and slot p maps back to
+ * (src = p / n, dst = p % n). Keeping the diagonal in the bank wastes
+ * n slots but makes the index arithmetic branch-free — composition
+ * passes touch all n*n entries and fix the diagonal up afterwards,
+ * which is cheaper than per-entry branching at 256 DCs (65536 pairs).
+ */
+
+#ifndef WANIFY_NET_PAIR_INDEX_HH
+#define WANIFY_NET_PAIR_INDEX_HH
+
+#include <cstddef>
+
+namespace wanify {
+namespace net {
+
+/** Dense index over the ordered DC pairs of an n-DC mesh. */
+class PairIndex
+{
+  public:
+    PairIndex() = default;
+    explicit PairIndex(std::size_t dcCount) : n_(dcCount) {}
+
+    std::size_t dcCount() const { return n_; }
+
+    /** Number of slots in a flat bank (n*n, diagonal included). */
+    std::size_t size() const { return n_ * n_; }
+
+    /** Dense slot of the ordered pair (src, dst). */
+    std::size_t operator()(std::size_t src, std::size_t dst) const
+    {
+        return src * n_ + dst;
+    }
+
+    /** Source DC of slot @p p. */
+    std::size_t src(std::size_t p) const { return p / n_; }
+
+    /** Destination DC of slot @p p. */
+    std::size_t dst(std::size_t p) const { return p % n_; }
+
+    /** True when slot @p p is a self-pair (src == dst). */
+    bool diagonal(std::size_t p) const { return p / n_ == p % n_; }
+
+  private:
+    std::size_t n_ = 0;
+};
+
+} // namespace net
+} // namespace wanify
+
+#endif // WANIFY_NET_PAIR_INDEX_HH

@@ -67,6 +67,17 @@ class RegionCatalog
     /** First @p n of the paper regions (n in [2, 8]). */
     static std::vector<Region> paperSubset(std::size_t n);
 
+    /**
+     * A mesh of @p n regions for scale experiments (n >= 2).
+     *
+     * For n <= 8 this is exactly paperSubset(n). Beyond 8 the paper
+     * regions are cycled into numbered zones ("us-east-1-z1", ...):
+     * each zone keeps its base region's provider and egress price but
+     * is offset by a deterministic metro-scale distance, so every pair
+     * keeps a distinct, nonzero Dij and a well-conditioned RTT.
+     */
+    static std::vector<Region> scaledMesh(std::size_t n);
+
     /** Look up by id; fatal() if unknown. */
     static const Region &byId(const std::string &id);
 

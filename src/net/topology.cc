@@ -164,7 +164,7 @@ TopologyBuilder::paperTestbed(std::size_t n, const VmType &type,
                               std::size_t vmsPerDc)
 {
     TopologyBuilder builder;
-    for (const auto &region : RegionCatalog::paperSubset(n))
+    for (const auto &region : RegionCatalog::scaledMesh(n))
         builder.addDc(region, type, vmsPerDc);
     return builder.build();
 }

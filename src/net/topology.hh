@@ -135,7 +135,9 @@ class TopologyBuilder
 
     /**
      * Convenience: the paper's standard testbed — first @p n paper
-     * regions, @p vmsPerDc VMs of @p type in each.
+     * regions, @p vmsPerDc VMs of @p type in each. Beyond 8 DCs the
+     * paper regions are cycled into deterministic metro zones
+     * (RegionCatalog::scaledMesh), enabling 128-256-DC scale runs.
      */
     static Topology paperTestbed(std::size_t n, const VmType &type,
                                  std::size_t vmsPerDc = 1);

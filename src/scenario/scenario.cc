@@ -52,6 +52,11 @@ Dynamics::capFactorAt(net::DcId, net::DcId, Seconds) const
     return 1.0;
 }
 
+void
+Dynamics::changePointsIn(Seconds, Seconds,
+                         std::vector<ChangePoint> &) const
+{}
+
 BurstCursor::BurstCursor(const Dynamics *dynamics)
     : dynamics_(dynamics)
 {}
@@ -260,6 +265,48 @@ ScenarioTimeline::applyAt(net::NetworkSim &sim, Seconds t) const
                 continue;
             sim.setScenarioCapFactor(i, j, capFactor(i, j, t));
             sim.setScenarioRttFactor(i, j, rttFactor(i, j, t));
+        }
+    }
+}
+
+void
+ScenarioTimeline::changePointsIn(Seconds t0, Seconds t1,
+                                 std::vector<ChangePoint> &out) const
+{
+    auto emit = [&](Seconds t, ChangeKind kind) {
+        if (t > t0 && t <= t1)
+            out.push_back({t, kind});
+    };
+    for (const auto &ce : events_) {
+        const ScenarioEvent &ev = ce.ev;
+        const Seconds start = ce.jitteredStart;
+        const Seconds end = start + ev.duration;
+        switch (ev.kind) {
+        case EventKind::Diurnal:
+            // Continuous everywhere after its start; the clock's
+            // regular epoch ticks sample it. Only the onset is a
+            // discrete edge.
+            emit(start, ChangeKind::Factor);
+            break;
+        case EventKind::Degradation:
+            // The ramp itself is continuous (epoch-sampled); its
+            // endpoints are kinks worth hitting exactly.
+            emit(start, ChangeKind::Factor);
+            if (ev.duration < kForever)
+                emit(end, ChangeKind::Factor);
+            break;
+        case EventKind::Outage:
+        case EventKind::Maintenance:
+        case EventKind::RttInflation:
+            emit(start, ChangeKind::Factor);
+            if (ev.duration < kForever)
+                emit(end, ChangeKind::Factor);
+            break;
+        case EventKind::FlashCrowd:
+            emit(start, ChangeKind::BurstStart);
+            if (ev.duration < kForever)
+                emit(end, ChangeKind::BurstEnd);
+            break;
         }
     }
 }

@@ -146,6 +146,29 @@ struct BurstFlow
     int connections = 4;
 };
 
+/** What changes at a discrete dynamics change point. */
+enum class ChangeKind
+{
+    Factor,     ///< a capacity/RTT factor window opens or closes
+    BurstStart, ///< a flash-crowd burst opens
+    BurstEnd,   ///< a flash-crowd burst expires
+};
+
+/**
+ * A discrete instant at which a dynamics source changes the network
+ * in a way that is invisible between samples: a scripted window edge
+ * or a burst boundary. The event-driven clock (gda::EventClock)
+ * schedules these as timestamped events so they take effect at their
+ * true times instead of the next epoch tick. Continuous dynamics
+ * (diurnal cycles, degradation ramps) have no discrete points inside
+ * their windows and stay epoch-sampled.
+ */
+struct ChangePoint
+{
+    Seconds time = 0.0;
+    ChangeKind kind = ChangeKind::Factor;
+};
+
 /**
  * Abstract time-varying network conditions, applied to a NetworkSim
  * via its scenario-override hooks. Implementations are immutable and
@@ -184,6 +207,16 @@ class Dynamics
      *  (t0, t1]. Use t0 < 0 to include flows at t = 0. */
     virtual std::vector<BurstFlow> burstsIn(Seconds t0,
                                             Seconds t1) const;
+
+    /**
+     * Append every discrete change point inside the half-open window
+     * (t0, t1] to @p out. Unordered and possibly duplicated (two
+     * windows may share an edge) — consumers order them; applying a
+     * factor twice at the same instant is idempotent. Default: none
+     * (purely continuous or static dynamics).
+     */
+    virtual void changePointsIn(Seconds t0, Seconds t1,
+                                std::vector<ChangePoint> &out) const;
 };
 
 /**
@@ -267,6 +300,8 @@ class ScenarioTimeline : public Dynamics
     }
     std::vector<BurstFlow> burstsIn(Seconds t0,
                                     Seconds t1) const override;
+    void changePointsIn(Seconds t0, Seconds t1,
+                        std::vector<ChangePoint> &out) const override;
 
     const ScenarioSpec &spec() const { return spec_; }
     std::uint64_t seed() const { return seed_; }

@@ -284,5 +284,24 @@ TraceReplay::burstsIn(Seconds t0, Seconds t1) const
     return out;
 }
 
+void
+TraceReplay::changePointsIn(Seconds t0, Seconds t1,
+                            std::vector<ChangePoint> &out) const
+{
+    // Each sample timestamp ends one hold interval and starts the
+    // next, so the medium steps exactly there.
+    const auto lo = std::upper_bound(trace_.times.begin(),
+                                     trace_.times.end(), t0);
+    for (auto it = lo; it != trace_.times.end() && *it <= t1; ++it)
+        out.push_back({*it, ChangeKind::Factor});
+    for (const auto &b : trace_.bursts) {
+        if (b.start > t0 && b.start <= t1)
+            out.push_back({b.start, ChangeKind::BurstStart});
+        const Seconds end = b.start + b.duration;
+        if (end > t0 && end <= t1)
+            out.push_back({end, ChangeKind::BurstEnd});
+    }
+}
+
 } // namespace scenario
 } // namespace wanify

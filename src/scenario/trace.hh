@@ -125,6 +125,11 @@ class TraceReplay : public Dynamics
     std::vector<BurstFlow> burstsIn(Seconds t0,
                                     Seconds t1) const override;
 
+    /** Sample timestamps (row boundaries) and burst edges in
+     *  (t0, t1] — every instant the replayed medium changes. */
+    void changePointsIn(Seconds t0, Seconds t1,
+                        std::vector<ChangePoint> &out) const override;
+
     const BwTrace &trace() const { return trace_; }
 
   private:

@@ -24,38 +24,30 @@ BandwidthAllocator::BandwidthAllocator(AllocPolicy policy)
     : policy_(policy)
 {}
 
-namespace {
-
-/** One demander at a contended pair during the water-fill. */
-struct Claim
-{
-    net::FlowGroupId group = 0;
-    double weight = 1.0;
-    Mbps demand = 0.0; ///< <= 0 = elastic
-    Mbps granted = 0.0;
-    bool satisfied = false;
-};
-
 /**
- * Weighted water-filling of @p capacity among @p claims: repeatedly
- * raise a common water level (rate per unit weight); claims whose
- * finite demand sits below their level-implied share freeze at their
- * demand and release the remainder to everyone still filling. The
- * fixed point is the weighted max-min fair allocation.
+ * Weighted water-filling of @p capacity among the @p count claims at
+ * @p claims: repeatedly raise a common water level (rate per unit
+ * weight); claims whose finite demand sits below their level-implied
+ * share freeze at their demand and release the remainder to everyone
+ * still filling. The fixed point is the weighted max-min fair
+ * allocation. Operates on a span of the flat claim array so the
+ * per-pair fill never copies.
  */
 void
-waterFill(Mbps capacity, std::vector<Claim> &claims)
+BandwidthAllocator::waterFill(Mbps capacity, Claim *claims,
+                              std::size_t count)
 {
     Mbps remaining = capacity;
-    std::size_t unsatisfied = claims.size();
+    std::size_t unsatisfied = count;
     while (unsatisfied > 0) {
         double weightSum = 0.0;
-        for (const Claim &c : claims)
-            if (!c.satisfied)
-                weightSum += c.weight;
+        for (std::size_t k = 0; k < count; ++k)
+            if (!claims[k].satisfied)
+                weightSum += claims[k].weight;
         const double level = remaining / weightSum;
         bool froze = false;
-        for (Claim &c : claims) {
+        for (std::size_t k = 0; k < count; ++k) {
+            Claim &c = claims[k];
             if (c.satisfied)
                 continue;
             const Mbps fair = c.weight * level;
@@ -68,7 +60,8 @@ waterFill(Mbps capacity, std::vector<Claim> &claims)
             }
         }
         if (!froze) {
-            for (Claim &c : claims) {
+            for (std::size_t k = 0; k < count; ++k) {
+                Claim &c = claims[k];
                 if (c.satisfied)
                     continue;
                 c.granted = c.weight * level;
@@ -78,8 +71,6 @@ waterFill(Mbps capacity, std::vector<Claim> &claims)
         }
     }
 }
-
-} // namespace
 
 Allocation
 BandwidthAllocator::allocate(net::NetworkSim &sim,
@@ -110,21 +101,48 @@ BandwidthAllocator::allocate(net::NetworkSim &sim,
         out.planningShare[q.group] = 1.0;
     }
 
-    // Collect the demanding queries per ordered pair.
-    std::map<std::size_t, std::vector<Claim>> byPair;
+    // Collect the demanding queries per ordered pair — counting sort
+    // into one flat claim array instead of a node-per-pair map, so
+    // the scan is contiguous and the steady state allocates nothing.
+    const std::size_t pairCount = topo.pairCount();
+    claimCount_.assign(pairCount, 0);
+    touched_.clear();
+    std::size_t total = 0;
+    for (const QueryDemand &q : demands) {
+        for (const PairDemand &p : q.pairs) {
+            panicIf(p.pair >= pairCount,
+                    "BandwidthAllocator: pair index out of range");
+            if (claimCount_[p.pair]++ == 0)
+                touched_.push_back(p.pair);
+            ++total;
+        }
+    }
+    // Ascending pair order — the iteration order the map-keyed scan
+    // had, so installed caps and planning shares are bit-identical.
+    std::sort(touched_.begin(), touched_.end());
+    claimSlot_.resize(pairCount);
+    std::size_t running = 0;
+    for (const std::size_t pair : touched_) {
+        claimSlot_[pair] = running;
+        running += static_cast<std::size_t>(claimCount_[pair]);
+    }
+    claims_.resize(total);
     for (const QueryDemand &q : demands) {
         const double w =
             policy_ == AllocPolicy::WeightedPriority ? q.weight : 1.0;
         for (const PairDemand &p : q.pairs)
-            byPair[p.pair].push_back({q.group, w, p.demand, 0.0,
-                                      false});
+            claims_[claimSlot_[p.pair]++] = {q.group, w, p.demand,
+                                             0.0, false};
     }
 
     // Water-fill the contended pairs and install the shares; record
     // which caps each group now holds so stale ones can be retired.
+    // claimSlot_ now points one past each pair's span.
     std::map<net::FlowGroupId, std::vector<std::size_t>> fresh;
-    for (auto &[pair, claims] : byPair) {
-        if (claims.size() < 2)
+    for (const std::size_t pair : touched_) {
+        const std::size_t count =
+            static_cast<std::size_t>(claimCount_[pair]);
+        if (count < 2)
             continue; // sole demander keeps whole-link behavior
 
         const net::DcId src = pair / topo.dcCount();
@@ -133,9 +151,11 @@ BandwidthAllocator::allocate(net::NetworkSim &sim,
         if (capacity <= 0.0)
             continue; // outage: the solver starves the pair anyway
 
-        waterFill(capacity, claims);
+        Claim *claims = claims_.data() + (claimSlot_[pair] - count);
+        waterFill(capacity, claims, count);
         ++out.cappedPairs;
-        for (const Claim &c : claims) {
+        for (std::size_t k = 0; k < count; ++k) {
+            const Claim &c = claims[k];
             sim.setGroupPairCap(c.group, src, dst, c.granted);
             fresh[c.group].push_back(pair);
             ++out.installedCaps;
@@ -146,14 +166,16 @@ BandwidthAllocator::allocate(net::NetworkSim &sim,
     }
 
     // Retire caps installed in earlier rounds that this round did not
-    // renew — the pair went uncontended or the query left it.
+    // renew — the pair went uncontended or the query left it. Both
+    // pair lists are ascending (emitted in touched order), so the
+    // membership check is a binary search, not a linear scan.
     for (const auto &[group, pairs] : installed_) {
         const auto now = fresh.find(group);
         for (const std::size_t pair : pairs) {
             const bool kept =
                 now != fresh.end() &&
-                std::find(now->second.begin(), now->second.end(),
-                          pair) != now->second.end();
+                std::binary_search(now->second.begin(),
+                                   now->second.end(), pair);
             if (!kept)
                 sim.setGroupPairCap(group, pair / topo.dcCount(),
                                     pair % topo.dcCount(), 0.0);

@@ -30,6 +30,7 @@
 #ifndef WANIFY_SERVE_ALLOCATOR_HH
 #define WANIFY_SERVE_ALLOCATOR_HH
 
+#include <cstdint>
 #include <map>
 #include <vector>
 
@@ -114,10 +115,37 @@ class BandwidthAllocator
     void release(net::NetworkSim &sim, net::FlowGroupId group);
 
   private:
+    /** One demander at a contended pair during the water-fill. */
+    struct Claim
+    {
+        net::FlowGroupId group = 0;
+        double weight = 1.0;
+        Mbps demand = 0.0; ///< <= 0 = elastic
+        Mbps granted = 0.0;
+        bool satisfied = false;
+    };
+
+    /** Weighted max-min water-fill over one pair's claim span. */
+    static void waterFill(Mbps capacity, Claim *claims,
+                          std::size_t count);
+
     AllocPolicy policy_;
 
-    /** (group, pair) caps currently installed on the sim. */
+    /** (group, pair) caps currently installed on the sim; each
+     *  group's pair list is sorted ascending (the scan emits pairs
+     *  in index order), so retirement checks binary-search it. */
     std::map<net::FlowGroupId, std::vector<std::size_t>> installed_;
+
+    // Flat counting-sort scratch for the contended-pair scan,
+    // reused across rounds so the steady state allocates nothing:
+    // claims land in one contiguous array grouped by pair index
+    // (demand order within a pair, i.e. ascending group), with
+    // claimCount_/claimSlot_ dense over pairCount() and touched_
+    // listing the pairs that saw any demand this round.
+    std::vector<std::int32_t> claimCount_;
+    std::vector<std::size_t> claimSlot_;
+    std::vector<Claim> claims_;
+    std::vector<std::size_t> touched_;
 };
 
 } // namespace serve

@@ -327,8 +327,8 @@ Service::planAndLaunch()
                 std::min(q.outcome.minPlanningShare, q.share);
 
             if (q.model != nullptr && q.model->trained())
-                q.believedBw =
-                    q.model->predictMatrix(topo_, snapshot);
+                q.believedBw = q.model->predictMatrix(
+                    topo_, snapshot, q.predictScratch);
             else
                 q.believedBw = snapshot;
 

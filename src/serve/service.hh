@@ -285,6 +285,11 @@ class Service
         Matrix<Bytes> assignment;
         Matrix<int> connections;
 
+        /** Per-query prediction buffers, reused every planning
+         *  round (each parallel planning worker owns its query's
+         *  scratch, so the fan-out stays race-free). */
+        core::PredictScratch predictScratch;
+
         double share = 1.0;
 
         /** Per-query forecast of the current planning round. */

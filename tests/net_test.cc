@@ -607,3 +607,82 @@ TEST(NetworkSim, RetransScoreRisesUnderContention)
     sim.advanceBy(1.0);
     EXPECT_GT(sim.pairRetransScore(7, 3), 0.05);
 }
+
+TEST(NetworkSim, FlatSolverInputsMatchReferenceBitExact)
+{
+    // The flat per-pair composition path (persistent PairIndex-keyed
+    // arrays) must produce bit-identical rates, progress, and
+    // completion times to the legacy map-keyed input build — the
+    // golden 8-DC mesh drives both through every feature that feeds
+    // the solver: groups, share caps, scenario factors, tc limits,
+    // connection changes, and OU fluctuation.
+    const auto topo = paperTopo(8);
+    NetworkSimConfig flatCfg; // fluctuation ON: wobbled caps too
+    NetworkSimConfig refCfg;
+    refCfg.referenceSolverInputs = true;
+
+    NetworkSim flat(topo, flatCfg, 99);
+    NetworkSim ref(topo, refCfg, 99);
+
+    std::vector<TransferId> flatIds, refIds;
+    auto driveBoth = [&](auto &&fn) {
+        fn(flat, flatIds);
+        fn(ref, refIds);
+    };
+
+    driveBoth([&](NetworkSim &sim, std::vector<TransferId> &ids) {
+        const auto &t = sim.topology();
+        for (DcId i = 0; i < 8; ++i)
+            for (DcId j = 0; j < 8; ++j)
+                if (i != j)
+                    ids.push_back(sim.startTransfer(
+                        t.dc(i).vms.front(), t.dc(j).vms.front(),
+                        units::megabytes(40.0 + 3.0 * i + j),
+                        1 + static_cast<int>((i + j) % 4),
+                        (i + j) % 3));
+        ids.push_back(sim.startMeasurement(t.dc(0).vms.front(),
+                                           t.dc(7).vms.front(), 2));
+        sim.setGroupWeight(1, 2.5);
+        sim.setGroupPairCap(1, 0, 1, 300.0);
+        sim.setGroupPairCap(2, 3, 4, 150.0);
+        sim.setScenarioCapFactor(2, 3, 0.4);
+        sim.setScenarioRttFactor(1, 2, 1.5);
+        sim.setTcLimit(0, 2, 500.0);
+        sim.advanceBy(0.7);
+        sim.advanceBy(1.3);
+    });
+
+    ASSERT_EQ(flatIds.size(), refIds.size());
+    auto expectIdenticalState = [&]() {
+        for (std::size_t k = 0; k < flatIds.size(); ++k) {
+            const auto a = flat.status(flatIds[k]);
+            const auto b = ref.status(refIds[k]);
+            EXPECT_EQ(a.currentRate, b.currentRate) << "flow " << k;
+            EXPECT_EQ(a.bytesMoved, b.bytesMoved) << "flow " << k;
+            EXPECT_EQ(a.bottleneck, b.bottleneck) << "flow " << k;
+        }
+        for (DcId i = 0; i < 8; ++i)
+            for (DcId j = 0; j < 8; ++j)
+                EXPECT_EQ(flat.pairRate(i, j), ref.pairRate(i, j))
+                    << "pair " << i << "->" << j;
+    };
+    expectIdenticalState();
+
+    // Mutate every dirty-tracking path mid-flight and recheck.
+    driveBoth([&](NetworkSim &sim, std::vector<TransferId> &ids) {
+        sim.setConnections(ids[3], 6);
+        sim.stopTransfer(ids[10]);
+        sim.setGroupPairCap(1, 0, 1, 0.0); // clear a cap
+        sim.setGroupWeight(2, 0.5);
+        sim.setScenarioCapFactor(2, 3, 1.0);
+        sim.setTcLimit(0, 2, 0.0);
+        sim.clearGroupAllocations(2);
+        sim.advanceBy(2.0);
+    });
+    expectIdenticalState();
+
+    const Seconds doneFlat = flat.runUntilAllComplete(600.0);
+    const Seconds doneRef = ref.runUntilAllComplete(600.0);
+    EXPECT_EQ(doneFlat, doneRef);
+    EXPECT_TRUE(flat.allTransfersDone());
+}

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 
@@ -781,4 +782,38 @@ TEST(RunnerScenario, AggregateCarriesDriftStatsAndIsParallelSafe)
     EXPECT_DOUBLE_EQ(seq.meanLatency, par.meanLatency);
     EXPECT_DOUBLE_EQ(seq.meanRetrainTriggers,
                      par.meanRetrainTriggers);
+}
+
+TEST(ScenarioTrace, ReplayMatchesScenarioAt128Dcs)
+{
+    // Record-then-replay equivalence at big-mesh scale: a 128-DC
+    // drive (16,256 mesh flows, OU noise on) replays to the recorded
+    // effective multipliers within one floating-point rounding, and
+    // the replayed medium is closed under replay (bit-exact).
+    const auto topo = experiments::workerCluster(128, 1);
+    DriveConfig cfg;
+    cfg.seed = 11;
+    cfg.epoch = 5.0;
+    cfg.horizon = 20.0;
+    const auto live =
+        driveScenario(libraryScenario("dc-outage"), topo, cfg);
+    ASSERT_EQ(live.trace.dcs, 128u);
+    ASSERT_GE(live.trace.size(), 4u);
+
+    const auto replayed = driveReplay(live.trace, topo, cfg);
+    ASSERT_EQ(replayed.trace.size(), live.trace.size());
+    double maxDiff = 0.0;
+    for (std::size_t k = 0; k < live.trace.size(); ++k) {
+        ASSERT_EQ(replayed.trace.rows[k].size(),
+                  live.trace.rows[k].size());
+        for (std::size_t p = 0; p < live.trace.rows[k].size(); ++p)
+            maxDiff = std::max(
+                maxDiff, std::abs(replayed.trace.rows[k][p] -
+                                  live.trace.rows[k][p]));
+    }
+    EXPECT_LT(maxDiff, 1e-9);
+
+    const auto again = driveReplay(replayed.trace, topo, cfg);
+    EXPECT_TRUE(again.trace.identical(replayed.trace));
+    EXPECT_EQ(again.trace.hash(), replayed.trace.hash());
 }
