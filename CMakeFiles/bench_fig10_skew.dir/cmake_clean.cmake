@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_skew.dir/bench/bench_fig10_skew.cc.o"
+  "CMakeFiles/bench_fig10_skew.dir/bench/bench_fig10_skew.cc.o.d"
+  "bench_fig10_skew"
+  "bench_fig10_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_heterogeneous_connections.dir/bench/bench_fig2_heterogeneous_connections.cc.o"
+  "CMakeFiles/bench_fig2_heterogeneous_connections.dir/bench/bench_fig2_heterogeneous_connections.cc.o.d"
+  "bench_fig2_heterogeneous_connections"
+  "bench_fig2_heterogeneous_connections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_heterogeneous_connections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

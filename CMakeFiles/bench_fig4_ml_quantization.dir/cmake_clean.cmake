@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_ml_quantization.dir/bench/bench_fig4_ml_quantization.cc.o"
+  "CMakeFiles/bench_fig4_ml_quantization.dir/bench/bench_fig4_ml_quantization.cc.o.d"
+  "bench_fig4_ml_quantization"
+  "bench_fig4_ml_quantization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_ml_quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_parallel_approaches.dir/bench/bench_fig5_parallel_approaches.cc.o"
+  "CMakeFiles/bench_fig5_parallel_approaches.dir/bench/bench_fig5_parallel_approaches.cc.o.d"
+  "bench_fig5_parallel_approaches"
+  "bench_fig5_parallel_approaches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_parallel_approaches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_dynamics.dir/bench/bench_fig9_dynamics.cc.o"
+  "CMakeFiles/bench_fig9_dynamics.dir/bench/bench_fig9_dynamics.cc.o.d"
+  "bench_fig9_dynamics"
+  "bench_fig9_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9c_forecast.dir/bench/bench_fig9c_forecast.cc.o"
+  "CMakeFiles/bench_fig9c_forecast.dir/bench/bench_fig9c_forecast.cc.o.d"
+  "bench_fig9c_forecast"
+  "bench_fig9c_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9c_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_inference.dir/bench/bench_perf_inference.cc.o"
+  "CMakeFiles/bench_perf_inference.dir/bench/bench_perf_inference.cc.o.d"
+  "bench_perf_inference"
+  "bench_perf_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_mesh_scale.dir/bench/bench_perf_mesh_scale.cc.o"
+  "CMakeFiles/bench_perf_mesh_scale.dir/bench/bench_perf_mesh_scale.cc.o.d"
+  "bench_perf_mesh_scale"
+  "bench_perf_mesh_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_mesh_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_serve.dir/bench/bench_perf_serve.cc.o"
+  "CMakeFiles/bench_perf_serve.dir/bench/bench_perf_serve.cc.o.d"
+  "bench_perf_serve"
+  "bench_perf_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_training.dir/bench/bench_perf_training.cc.o"
+  "CMakeFiles/bench_perf_training.dir/bench/bench_perf_training.cc.o.d"
+  "bench_perf_training"
+  "bench_perf_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_monitoring_cost.dir/bench/bench_table2_monitoring_cost.cc.o"
+  "CMakeFiles/bench_table2_monitoring_cost.dir/bench/bench_table2_monitoring_cost.cc.o.d"
+  "bench_table2_monitoring_cost"
+  "bench_table2_monitoring_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_monitoring_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

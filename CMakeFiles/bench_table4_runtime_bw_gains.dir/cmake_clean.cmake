@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_runtime_bw_gains.dir/bench/bench_table4_runtime_bw_gains.cc.o"
+  "CMakeFiles/bench_table4_runtime_bw_gains.dir/bench/bench_table4_runtime_bw_gains.cc.o.d"
+  "bench_table4_runtime_bw_gains"
+  "bench_table4_runtime_bw_gains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_runtime_bw_gains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_clock_test.dir/tests/event_clock_test.cc.o"
+  "CMakeFiles/event_clock_test.dir/tests/event_clock_test.cc.o.d"
+  "event_clock_test"
+  "event_clock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_clock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

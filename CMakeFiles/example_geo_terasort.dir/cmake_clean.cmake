@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_geo_terasort.dir/examples/geo_terasort.cpp.o"
+  "CMakeFiles/example_geo_terasort.dir/examples/geo_terasort.cpp.o.d"
+  "example_geo_terasort"
+  "example_geo_terasort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_geo_terasort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

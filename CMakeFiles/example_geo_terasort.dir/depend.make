@@ -1,0 +1,2 @@
+# Empty dependencies file for example_geo_terasort.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ml_quantization.dir/examples/ml_quantization.cpp.o"
+  "CMakeFiles/example_ml_quantization.dir/examples/ml_quantization.cpp.o.d"
+  "example_ml_quantization"
+  "example_ml_quantization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ml_quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

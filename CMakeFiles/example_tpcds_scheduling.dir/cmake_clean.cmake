@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tpcds_scheduling.dir/examples/tpcds_scheduling.cpp.o"
+  "CMakeFiles/example_tpcds_scheduling.dir/examples/tpcds_scheduling.cpp.o.d"
+  "example_tpcds_scheduling"
+  "example_tpcds_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tpcds_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

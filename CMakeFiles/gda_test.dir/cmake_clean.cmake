@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gda_test.dir/tests/gda_test.cc.o"
+  "CMakeFiles/gda_test.dir/tests/gda_test.cc.o.d"
+  "gda_test"
+  "gda_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gda_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retrain_test.dir/tests/retrain_test.cc.o"
+  "CMakeFiles/retrain_test.dir/tests/retrain_test.cc.o.d"
+  "retrain_test"
+  "retrain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retrain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/training_test.dir/tests/training_test.cc.o"
+  "CMakeFiles/training_test.dir/tests/training_test.cc.o.d"
+  "training_test"
+  "training_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/training_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wanify-bench-diff.dir/tools/bench_diff.cc.o"
+  "CMakeFiles/wanify-bench-diff.dir/tools/bench_diff.cc.o.d"
+  "wanify-bench-diff"
+  "wanify-bench-diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wanify-bench-diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for wanify-bench-diff.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wanify-scenario.dir/cli/wanify_scenario.cc.o"
+  "CMakeFiles/wanify-scenario.dir/cli/wanify_scenario.cc.o.d"
+  "wanify-scenario"
+  "wanify-scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wanify-scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for wanify-scenario.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wanify-serve.dir/cli/wanify_serve.cc.o"
+  "CMakeFiles/wanify-serve.dir/cli/wanify_serve.cc.o.d"
+  "wanify-serve"
+  "wanify-serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wanify-serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,80 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/error.cc" "CMakeFiles/wanify.dir/src/common/error.cc.o" "gcc" "CMakeFiles/wanify.dir/src/common/error.cc.o.d"
+  "/root/repo/src/common/geo.cc" "CMakeFiles/wanify.dir/src/common/geo.cc.o" "gcc" "CMakeFiles/wanify.dir/src/common/geo.cc.o.d"
+  "/root/repo/src/common/logging.cc" "CMakeFiles/wanify.dir/src/common/logging.cc.o" "gcc" "CMakeFiles/wanify.dir/src/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "CMakeFiles/wanify.dir/src/common/rng.cc.o" "gcc" "CMakeFiles/wanify.dir/src/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "CMakeFiles/wanify.dir/src/common/stats.cc.o" "gcc" "CMakeFiles/wanify.dir/src/common/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "CMakeFiles/wanify.dir/src/common/table.cc.o" "gcc" "CMakeFiles/wanify.dir/src/common/table.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "CMakeFiles/wanify.dir/src/common/thread_pool.cc.o" "gcc" "CMakeFiles/wanify.dir/src/common/thread_pool.cc.o.d"
+  "/root/repo/src/common/units.cc" "CMakeFiles/wanify.dir/src/common/units.cc.o" "gcc" "CMakeFiles/wanify.dir/src/common/units.cc.o.d"
+  "/root/repo/src/core/bandwidth_analyzer.cc" "CMakeFiles/wanify.dir/src/core/bandwidth_analyzer.cc.o" "gcc" "CMakeFiles/wanify.dir/src/core/bandwidth_analyzer.cc.o.d"
+  "/root/repo/src/core/bw.cc" "CMakeFiles/wanify.dir/src/core/bw.cc.o" "gcc" "CMakeFiles/wanify.dir/src/core/bw.cc.o.d"
+  "/root/repo/src/core/dc_relations.cc" "CMakeFiles/wanify.dir/src/core/dc_relations.cc.o" "gcc" "CMakeFiles/wanify.dir/src/core/dc_relations.cc.o.d"
+  "/root/repo/src/core/drift.cc" "CMakeFiles/wanify.dir/src/core/drift.cc.o" "gcc" "CMakeFiles/wanify.dir/src/core/drift.cc.o.d"
+  "/root/repo/src/core/forecast.cc" "CMakeFiles/wanify.dir/src/core/forecast.cc.o" "gcc" "CMakeFiles/wanify.dir/src/core/forecast.cc.o.d"
+  "/root/repo/src/core/global_optimizer.cc" "CMakeFiles/wanify.dir/src/core/global_optimizer.cc.o" "gcc" "CMakeFiles/wanify.dir/src/core/global_optimizer.cc.o.d"
+  "/root/repo/src/core/heterogeneity.cc" "CMakeFiles/wanify.dir/src/core/heterogeneity.cc.o" "gcc" "CMakeFiles/wanify.dir/src/core/heterogeneity.cc.o.d"
+  "/root/repo/src/core/local_agent.cc" "CMakeFiles/wanify.dir/src/core/local_agent.cc.o" "gcc" "CMakeFiles/wanify.dir/src/core/local_agent.cc.o.d"
+  "/root/repo/src/core/local_optimizer.cc" "CMakeFiles/wanify.dir/src/core/local_optimizer.cc.o" "gcc" "CMakeFiles/wanify.dir/src/core/local_optimizer.cc.o.d"
+  "/root/repo/src/core/predictor.cc" "CMakeFiles/wanify.dir/src/core/predictor.cc.o" "gcc" "CMakeFiles/wanify.dir/src/core/predictor.cc.o.d"
+  "/root/repo/src/core/throttle.cc" "CMakeFiles/wanify.dir/src/core/throttle.cc.o" "gcc" "CMakeFiles/wanify.dir/src/core/throttle.cc.o.d"
+  "/root/repo/src/core/wanify.cc" "CMakeFiles/wanify.dir/src/core/wanify.cc.o" "gcc" "CMakeFiles/wanify.dir/src/core/wanify.cc.o.d"
+  "/root/repo/src/cost/cost_model.cc" "CMakeFiles/wanify.dir/src/cost/cost_model.cc.o" "gcc" "CMakeFiles/wanify.dir/src/cost/cost_model.cc.o.d"
+  "/root/repo/src/experiments/predictor_factory.cc" "CMakeFiles/wanify.dir/src/experiments/predictor_factory.cc.o" "gcc" "CMakeFiles/wanify.dir/src/experiments/predictor_factory.cc.o.d"
+  "/root/repo/src/experiments/runner.cc" "CMakeFiles/wanify.dir/src/experiments/runner.cc.o" "gcc" "CMakeFiles/wanify.dir/src/experiments/runner.cc.o.d"
+  "/root/repo/src/experiments/testbed.cc" "CMakeFiles/wanify.dir/src/experiments/testbed.cc.o" "gcc" "CMakeFiles/wanify.dir/src/experiments/testbed.cc.o.d"
+  "/root/repo/src/gda/engine.cc" "CMakeFiles/wanify.dir/src/gda/engine.cc.o" "gcc" "CMakeFiles/wanify.dir/src/gda/engine.cc.o.d"
+  "/root/repo/src/gda/event_clock.cc" "CMakeFiles/wanify.dir/src/gda/event_clock.cc.o" "gcc" "CMakeFiles/wanify.dir/src/gda/event_clock.cc.o.d"
+  "/root/repo/src/gda/scheduler.cc" "CMakeFiles/wanify.dir/src/gda/scheduler.cc.o" "gcc" "CMakeFiles/wanify.dir/src/gda/scheduler.cc.o.d"
+  "/root/repo/src/ml/bin_index.cc" "CMakeFiles/wanify.dir/src/ml/bin_index.cc.o" "gcc" "CMakeFiles/wanify.dir/src/ml/bin_index.cc.o.d"
+  "/root/repo/src/ml/compiled_forest.cc" "CMakeFiles/wanify.dir/src/ml/compiled_forest.cc.o" "gcc" "CMakeFiles/wanify.dir/src/ml/compiled_forest.cc.o.d"
+  "/root/repo/src/ml/csv.cc" "CMakeFiles/wanify.dir/src/ml/csv.cc.o" "gcc" "CMakeFiles/wanify.dir/src/ml/csv.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "CMakeFiles/wanify.dir/src/ml/dataset.cc.o" "gcc" "CMakeFiles/wanify.dir/src/ml/dataset.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "CMakeFiles/wanify.dir/src/ml/decision_tree.cc.o" "gcc" "CMakeFiles/wanify.dir/src/ml/decision_tree.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "CMakeFiles/wanify.dir/src/ml/metrics.cc.o" "gcc" "CMakeFiles/wanify.dir/src/ml/metrics.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "CMakeFiles/wanify.dir/src/ml/random_forest.cc.o" "gcc" "CMakeFiles/wanify.dir/src/ml/random_forest.cc.o.d"
+  "/root/repo/src/ml/training_context.cc" "CMakeFiles/wanify.dir/src/ml/training_context.cc.o" "gcc" "CMakeFiles/wanify.dir/src/ml/training_context.cc.o.d"
+  "/root/repo/src/monitor/features.cc" "CMakeFiles/wanify.dir/src/monitor/features.cc.o" "gcc" "CMakeFiles/wanify.dir/src/monitor/features.cc.o.d"
+  "/root/repo/src/monitor/iftop.cc" "CMakeFiles/wanify.dir/src/monitor/iftop.cc.o" "gcc" "CMakeFiles/wanify.dir/src/monitor/iftop.cc.o.d"
+  "/root/repo/src/monitor/measurement.cc" "CMakeFiles/wanify.dir/src/monitor/measurement.cc.o" "gcc" "CMakeFiles/wanify.dir/src/monitor/measurement.cc.o.d"
+  "/root/repo/src/net/flow_solver.cc" "CMakeFiles/wanify.dir/src/net/flow_solver.cc.o" "gcc" "CMakeFiles/wanify.dir/src/net/flow_solver.cc.o.d"
+  "/root/repo/src/net/fluctuation.cc" "CMakeFiles/wanify.dir/src/net/fluctuation.cc.o" "gcc" "CMakeFiles/wanify.dir/src/net/fluctuation.cc.o.d"
+  "/root/repo/src/net/network_sim.cc" "CMakeFiles/wanify.dir/src/net/network_sim.cc.o" "gcc" "CMakeFiles/wanify.dir/src/net/network_sim.cc.o.d"
+  "/root/repo/src/net/region.cc" "CMakeFiles/wanify.dir/src/net/region.cc.o" "gcc" "CMakeFiles/wanify.dir/src/net/region.cc.o.d"
+  "/root/repo/src/net/rtt_model.cc" "CMakeFiles/wanify.dir/src/net/rtt_model.cc.o" "gcc" "CMakeFiles/wanify.dir/src/net/rtt_model.cc.o.d"
+  "/root/repo/src/net/topology.cc" "CMakeFiles/wanify.dir/src/net/topology.cc.o" "gcc" "CMakeFiles/wanify.dir/src/net/topology.cc.o.d"
+  "/root/repo/src/net/vm.cc" "CMakeFiles/wanify.dir/src/net/vm.cc.o" "gcc" "CMakeFiles/wanify.dir/src/net/vm.cc.o.d"
+  "/root/repo/src/scenario/driver.cc" "CMakeFiles/wanify.dir/src/scenario/driver.cc.o" "gcc" "CMakeFiles/wanify.dir/src/scenario/driver.cc.o.d"
+  "/root/repo/src/scenario/forecast.cc" "CMakeFiles/wanify.dir/src/scenario/forecast.cc.o" "gcc" "CMakeFiles/wanify.dir/src/scenario/forecast.cc.o.d"
+  "/root/repo/src/scenario/library.cc" "CMakeFiles/wanify.dir/src/scenario/library.cc.o" "gcc" "CMakeFiles/wanify.dir/src/scenario/library.cc.o.d"
+  "/root/repo/src/scenario/scenario.cc" "CMakeFiles/wanify.dir/src/scenario/scenario.cc.o" "gcc" "CMakeFiles/wanify.dir/src/scenario/scenario.cc.o.d"
+  "/root/repo/src/scenario/trace.cc" "CMakeFiles/wanify.dir/src/scenario/trace.cc.o" "gcc" "CMakeFiles/wanify.dir/src/scenario/trace.cc.o.d"
+  "/root/repo/src/sched/fraction_search.cc" "CMakeFiles/wanify.dir/src/sched/fraction_search.cc.o" "gcc" "CMakeFiles/wanify.dir/src/sched/fraction_search.cc.o.d"
+  "/root/repo/src/sched/kimchi.cc" "CMakeFiles/wanify.dir/src/sched/kimchi.cc.o" "gcc" "CMakeFiles/wanify.dir/src/sched/kimchi.cc.o.d"
+  "/root/repo/src/sched/locality.cc" "CMakeFiles/wanify.dir/src/sched/locality.cc.o" "gcc" "CMakeFiles/wanify.dir/src/sched/locality.cc.o.d"
+  "/root/repo/src/sched/tetrium.cc" "CMakeFiles/wanify.dir/src/sched/tetrium.cc.o" "gcc" "CMakeFiles/wanify.dir/src/sched/tetrium.cc.o.d"
+  "/root/repo/src/serve/allocator.cc" "CMakeFiles/wanify.dir/src/serve/allocator.cc.o" "gcc" "CMakeFiles/wanify.dir/src/serve/allocator.cc.o.d"
+  "/root/repo/src/serve/service.cc" "CMakeFiles/wanify.dir/src/serve/service.cc.o" "gcc" "CMakeFiles/wanify.dir/src/serve/service.cc.o.d"
+  "/root/repo/src/serve/workload.cc" "CMakeFiles/wanify.dir/src/serve/workload.cc.o" "gcc" "CMakeFiles/wanify.dir/src/serve/workload.cc.o.d"
+  "/root/repo/src/storage/hdfs.cc" "CMakeFiles/wanify.dir/src/storage/hdfs.cc.o" "gcc" "CMakeFiles/wanify.dir/src/storage/hdfs.cc.o.d"
+  "/root/repo/src/workloads/ml_quantization.cc" "CMakeFiles/wanify.dir/src/workloads/ml_quantization.cc.o" "gcc" "CMakeFiles/wanify.dir/src/workloads/ml_quantization.cc.o.d"
+  "/root/repo/src/workloads/terasort.cc" "CMakeFiles/wanify.dir/src/workloads/terasort.cc.o" "gcc" "CMakeFiles/wanify.dir/src/workloads/terasort.cc.o.d"
+  "/root/repo/src/workloads/tpcds.cc" "CMakeFiles/wanify.dir/src/workloads/tpcds.cc.o" "gcc" "CMakeFiles/wanify.dir/src/workloads/tpcds.cc.o.d"
+  "/root/repo/src/workloads/wordcount.cc" "CMakeFiles/wanify.dir/src/workloads/wordcount.cc.o" "gcc" "CMakeFiles/wanify.dir/src/workloads/wordcount.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
