@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Fig. 9(d) extension: hard faults and recovery under storm scenarios.
+ *
+ * The robustness claim of the fault subsystem: with first-class fault
+ * injection on — transfer aborts, gauge outages, agent crashes, DC
+ * blackouts — the engine's retry/backoff/replan pipeline and the
+ * predictor degradation ladder keep every query completing, at a
+ * bounded latency overhead, and the fault-free arm stays bit-identical
+ * to pre-fault builds (an empty FaultPlan takes exactly the same code
+ * paths as no plan at all).
+ *
+ * Three arms over the same seeds on the Fig. 9(c) workload (skewed
+ * 120 GB TeraSort, WANify-TC + Tetrium, drift-adaptive):
+ *
+ *   - baseline:   stationary mesh, no faults — and a second pass with
+ *                 an explicit empty FaultPlan whose aggregate must be
+ *                 bit-identical (the hollow-plan identity gate);
+ *   - fault-storm: transfer aborts into the shuffle, a gauge outage
+ *                 across the first retrain window, an agent crash,
+ *                 under a diurnal swing — the retry + ladder path;
+ *   - blackout:   a hard DC3 blackout inside a soft outage — the
+ *                 abort + deferred-retry + replan path.
+ *
+ * Gates enforced by the bench itself (exit 1): every trial of every
+ * storm completes all stages with finite latency, the storms actually
+ * injected faults and the recovery telemetry (retries, replans, lost
+ * bytes) is non-trivial, and the hollow-plan aggregate is bit-equal
+ * to the baseline. The committed BENCH_faults.json trajectory is
+ * gated by wanify-bench-diff (prefix faults_, higher is better):
+ * completion fractions and baseline/storm recovery ratios —
+ * virtual-time, deterministic in the seeds, machine-independent.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "common/thread_pool.hh"
+#include "fault/fault.hh"
+#include "scenario/library.hh"
+#include "workloads/terasort.hh"
+
+using namespace wanify;
+using namespace wanify::bench;
+using namespace wanify::experiments;
+
+namespace {
+
+constexpr std::size_t kTrials = 5;
+constexpr std::uint64_t kScenarioSeed = 424242;
+constexpr std::uint64_t kTrialSeed = 1000;
+
+/** Per-arm outcome: the aggregate plus the bench's own gates. */
+struct ArmResult
+{
+    Aggregate agg;
+    std::size_t completedTrials = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string outPath = "BENCH_faults.json";
+    for (int a = 1; a < argc; ++a) {
+        if (std::strcmp(argv[a], "--out") == 0 && a + 1 < argc) {
+            outPath = argv[++a];
+        } else {
+            std::fprintf(stderr, "usage: %s [--out path]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    auto &ctx = BenchContext::get();
+    const auto topo =
+        experiments::workerCluster(ctx.topo.dcCount(), 2);
+    const std::size_t n = topo.dcCount();
+    // The Fig. 9(c) workload: 120 GB stretches the shuffles across
+    // the storms' fault windows (aborts at t = 30/75, the blackout at
+    // t = 60 must land inside a shuffle to kill anything).
+    const auto job = workloads::teraSort(120.0);
+    storage::HdfsStore hdfs(topo);
+    std::vector<double> skew(n, 0.0);
+    double skewSum = 0.0;
+    for (std::size_t d = 0; d < n; ++d) {
+        skew[d] = std::pow(0.6, static_cast<double>(d));
+        skewSum += skew[d];
+    }
+    for (std::size_t d = 0; d < n; ++d)
+        skew[d] /= skewSum;
+    hdfs.loadSkewed(job.inputBytes, skew);
+    const auto input = hdfs.distribution();
+    sched::TetriumScheduler tetrium;
+
+    // Fig. 9(c)'s scenario-sized drift window, so the storms' gauge
+    // faults intersect real retrain attempts.
+    core::WanifyConfig wcfg;
+    wcfg.drift.windowSize = 2 * n * (n - 1);
+    wcfg.drift.minObservations = n * (n - 1);
+    wcfg.drift.retrainFraction = 0.15;
+    core::Wanify tc(wcfg);
+    tc.setPredictor(sharedPredictor());
+
+    auto sweep = [&](const scenario::Dynamics *dynamics,
+                     const fault::FaultPlan *faults) {
+        const auto seeds = deriveSeeds(kTrialSeed, kTrials);
+        std::vector<gda::QueryResult> results(kTrials);
+        ThreadPool::global().parallelFor(
+            kTrials, [&](std::size_t t) {
+                gda::Engine engine(topo, ctx.simCfg, seeds[t]);
+                gda::RunOptions opts;
+                opts.schedulerBw = ctx.staticIndependent;
+                opts.wanify = &tc;
+                opts.dynamics = dynamics;
+                opts.faults = faults;
+                opts.adaptOnDrift = true;
+                results[t] =
+                    engine.run(job, input, tetrium, opts);
+            });
+        ArmResult arm;
+        arm.agg = aggregate(results);
+        for (const auto &r : results) {
+            bool ok = std::isfinite(r.latency) && r.latency > 0.0 &&
+                      !r.stages.empty();
+            for (const auto &stage : r.stages)
+                ok = ok && stage.end >= stage.transferEnd;
+            if (ok)
+                ++arm.completedTrials;
+        }
+        return arm;
+    };
+
+    const ArmResult baseline = sweep(nullptr, nullptr);
+    const fault::FaultPlan hollowPlan;
+    const ArmResult hollow = sweep(nullptr, &hollowPlan);
+
+    const auto stormSpec = scenario::libraryScenario("fault-storm");
+    const scenario::ScenarioTimeline stormTimeline(stormSpec, n,
+                                                   kScenarioSeed);
+    const ArmResult storm = sweep(&stormTimeline, nullptr);
+
+    const auto blackoutSpec = scenario::libraryScenario("blackout");
+    const scenario::ScenarioTimeline blackoutTimeline(blackoutSpec, n,
+                                                      kScenarioSeed);
+    const ArmResult dark = sweep(&blackoutTimeline, nullptr);
+
+    Table table("Fig 9(d): fault storms and recovery (WANify-TC + "
+                "Tetrium, skewed TeraSort 120 GB)");
+    table.setHeader({"Arm", "Lat (s)", "Faults", "Aborts",
+                     "Retries", "Replans", "Lost GB", "Backoff s",
+                     "Gauge", "Degraded"});
+    auto armRow = [&](const char *name, const ArmResult &arm) {
+        const auto &a = arm.agg;
+        table.addRow(
+            {name,
+             Table::num(a.meanLatency, 0) + " +- " +
+                 Table::num(a.seLatency, 0),
+             Table::num(a.totalFaultsInjected, 0),
+             Table::num(a.totalTransferAborts, 0),
+             Table::num(a.totalTransferRetries, 0),
+             Table::num(a.totalFaultReplans, 0),
+             Table::num(a.totalLostBytes / 1.0e9, 2),
+             Table::num(a.meanBackoffSeconds, 1),
+             Table::num(a.totalGaugeFaults, 0),
+             Table::num(a.trialsDegraded, 0)});
+    };
+    armRow("baseline", baseline);
+    armRow("empty plan", hollow);
+    armRow("fault-storm", storm);
+    armRow("blackout", dark);
+    table.print();
+
+    const bool hollowIdentical =
+        baseline.agg.meanLatency == hollow.agg.meanLatency &&
+        baseline.agg.meanCost == hollow.agg.meanCost &&
+        baseline.agg.meanMinBw == hollow.agg.meanMinBw &&
+        hollow.agg.totalFaultsInjected == 0;
+    const double stormCompletion =
+        static_cast<double>(storm.completedTrials) / kTrials;
+    const double darkCompletion =
+        static_cast<double>(dark.completedTrials) / kTrials;
+    const double stormRecovery =
+        storm.agg.meanLatency > 0.0
+            ? baseline.agg.meanLatency / storm.agg.meanLatency
+            : 0.0;
+    const double darkRecovery =
+        dark.agg.meanLatency > 0.0
+            ? baseline.agg.meanLatency / dark.agg.meanLatency
+            : 0.0;
+
+    std::printf("\n%zu trials per arm; scenario seed %llu; latencies "
+                "are virtual time (deterministic in the seeds), so "
+                "completion and recovery ratios are "
+                "machine-independent.\n",
+                kTrials,
+                static_cast<unsigned long long>(kScenarioSeed));
+
+    writeBenchJson(
+        outPath,
+        {BenchJsonField::text("bench", "fig9d_faults"),
+         BenchJsonField::num("trials", kTrials),
+         BenchJsonField::num("dc_count", n),
+         BenchJsonField::num(
+             "pool_threads", ThreadPool::global().threadCount()),
+         BenchJsonField::text("determinism", "virtual-time")},
+        {{"faults_hollow_identity", hollowIdentical ? 1.0 : 0.0},
+         {"faults_storm_completion", stormCompletion},
+         {"faults_blackout_completion", darkCompletion},
+         {"faults_storm_recovery", stormRecovery},
+         {"faults_blackout_recovery", darkRecovery}});
+    std::printf("wrote %s\n", outPath.c_str());
+
+    bool ok = true;
+    if (!hollowIdentical) {
+        std::fprintf(stderr,
+                     "GATE: empty-FaultPlan arm diverged from the "
+                     "fault-free baseline\n");
+        ok = false;
+    }
+    if (stormCompletion < 1.0 || darkCompletion < 1.0) {
+        std::fprintf(stderr,
+                     "GATE: a storm trial failed to complete every "
+                     "stage (storm %.2f, blackout %.2f)\n",
+                     stormCompletion, darkCompletion);
+        ok = false;
+    }
+    if (storm.agg.totalFaultsInjected == 0 ||
+        storm.agg.totalTransferAborts == 0 ||
+        storm.agg.totalLostBytes <= 0.0 ||
+        storm.agg.totalTransferRetries +
+                storm.agg.totalFaultReplans ==
+            0) {
+        std::fprintf(stderr,
+                     "GATE: the fault storm injected no recoverable "
+                     "damage (faults %zu, aborts %zu, lost %.0f)\n",
+                     storm.agg.totalFaultsInjected,
+                     storm.agg.totalTransferAborts,
+                     storm.agg.totalLostBytes);
+        ok = false;
+    }
+    if (dark.agg.totalFaultsInjected == 0) {
+        std::fprintf(stderr,
+                     "GATE: the blackout storm injected nothing\n");
+        ok = false;
+    }
+    if (!ok)
+        return 1;
+    std::printf("all gates pass: storms complete, recovery telemetry "
+                "non-trivial, hollow plan bit-identical\n");
+    return 0;
+}

@@ -42,6 +42,7 @@
 #include "common/error.hh"
 #include "common/table.hh"
 #include "experiments/predictor_factory.hh"
+#include "fault/fault.hh"
 #include "experiments/testbed.hh"
 #include "gda/engine.hh"
 #include "sched/locality.hh"
@@ -221,14 +222,30 @@ int
 cmdList()
 {
     Table table("built-in scenarios");
-    table.setHeader({"name", "epoch", "horizon", "events"});
+    table.setHeader({"name", "epoch", "horizon", "events",
+                     "faults"});
     for (const auto &name : scenario::libraryScenarioNames()) {
         const auto spec = scenario::libraryScenario(name);
         table.addRow({spec.name, Table::num(spec.epoch, 0),
                       Table::num(spec.horizon, 0),
-                      std::to_string(spec.events.size())});
+                      std::to_string(spec.events.size()),
+                      std::to_string(spec.faults.size())});
     }
     table.print();
+    // The chaos set lives outside the bandwidth-dynamics campaign
+    // rotation: hard faults (aborts, crashes, blackouts, gauge
+    // outages) on top of scripted soft dynamics.
+    Table chaos("fault-storm scenarios");
+    chaos.setHeader({"name", "epoch", "horizon", "events",
+                     "faults"});
+    for (const auto &name : scenario::faultScenarioNames()) {
+        const auto spec = scenario::libraryScenario(name);
+        chaos.addRow({spec.name, Table::num(spec.epoch, 0),
+                      Table::num(spec.horizon, 0),
+                      std::to_string(spec.events.size()),
+                      std::to_string(spec.faults.size())});
+    }
+    chaos.print();
     return 0;
 }
 
@@ -254,6 +271,23 @@ cmdShow(const std::string &name)
                       Table::num(ev.magnitude, 2)});
     }
     table.print();
+    if (!spec.faults.empty()) {
+        Table ftable("fault events");
+        ftable.setHeader({"kind", "src", "dst", "dc", "start",
+                          "duration", "jitter"});
+        auto fdc = [](int id) {
+            return id == fault::kAnyDc ? std::string("*")
+                                       : std::to_string(id);
+        };
+        for (const auto &fv : spec.faults) {
+            ftable.addRow({fault::faultKindName(fv.kind),
+                           fdc(fv.src), fdc(fv.dst), fdc(fv.dc),
+                           Table::num(fv.time, 0),
+                           Table::num(fv.duration, 0),
+                           Table::num(fv.startJitter, 0)});
+        }
+        ftable.print();
+    }
     return 0;
 }
 

@@ -186,5 +186,43 @@ GaugeTrend::forecast(Seconds now, Seconds horizon, Seconds step) const
     return fc;
 }
 
+Matrix<Mbps>
+GaugeTrend::extrapolateAt(Seconds t) const
+{
+    fatalIf(points_.empty(),
+            "GaugeTrend::extrapolateAt: no observations");
+    const std::size_t n = points_.front().rows();
+    const std::size_t m = times_.size();
+    if (m < 2)
+        return points_.back();
+
+    double sumT = 0.0, sumTT = 0.0;
+    for (Seconds u : times_) {
+        sumT += u;
+        sumTT += u * u;
+    }
+    const double count = static_cast<double>(m);
+    const double det = count * sumTT - sumT * sumT;
+    if (det <= 1.0e-12)
+        return points_.back();
+
+    Matrix<Mbps> out = Matrix<Mbps>::square(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            double sumY = 0.0, sumTY = 0.0;
+            for (std::size_t k = 0; k < m; ++k) {
+                const double y = points_[k].at(i, j);
+                sumY += y;
+                sumTY += times_[k] * y;
+            }
+            const double slope = (count * sumTY - sumT * sumY) / det;
+            const double intercept =
+                (sumY * sumTT - sumT * sumTY) / det;
+            out.at(i, j) = std::max(0.0, intercept + slope * t);
+        }
+    }
+    return out;
+}
+
 } // namespace core
 } // namespace wanify

@@ -155,6 +155,15 @@ class GaugeTrend
     BwForecast forecast(Seconds now, Seconds horizon,
                         Seconds step) const;
 
+    /**
+     * The same per-pair least-squares fit evaluated at the single
+     * instant @p t, clamped at >= 0 — the degradation ladder's
+     * "trend" rung uses this as the believed matrix when gauges are
+     * failing. With fewer than two observations this returns the
+     * last recorded matrix; call sites must check size() > 0.
+     */
+    Matrix<Mbps> extrapolateAt(Seconds t) const;
+
   private:
     std::size_t maxPoints_;
     std::vector<Seconds> times_;

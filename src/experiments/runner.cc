@@ -43,7 +43,19 @@ aggregate(const std::vector<gda::QueryResult> &results)
             agg.meanPreRetrainError += r.preRetrainError;
             agg.meanPostRetrainError += r.postRetrainError;
         }
+        agg.totalFaultsInjected += r.faultsInjected;
+        agg.totalTransferAborts += r.transferAborts;
+        agg.totalTransferRetries += r.transferRetries;
+        agg.totalFaultReplans += r.faultReplans;
+        agg.totalLostBytes += r.lostBytes;
+        agg.meanBackoffSeconds += r.backoffSeconds;
+        agg.totalGaugeFaults += r.gaugeFaults;
+        if (r.worstPredictorMode > 0)
+            ++agg.trialsDegraded;
     }
+    if (!results.empty())
+        agg.meanBackoffSeconds /=
+            static_cast<double>(results.size());
     if (agg.trialsRetrained > 0) {
         const auto k = static_cast<double>(agg.trialsRetrained);
         agg.meanPreRetrainError /= k;

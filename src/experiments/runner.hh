@@ -63,6 +63,33 @@ struct Aggregate
     double meanRetrainSeconds = 0.0;
     double totalRetrainSeconds = 0.0;
 
+    // --- fault & recovery telemetry (runs with a FaultPlan) ----------
+
+    /** Fault events fired, summed across all trials. */
+    std::size_t totalFaultsInjected = 0;
+
+    /** In-flight transfers killed by faults, summed. */
+    std::size_t totalTransferAborts = 0;
+
+    /** Aborted transfers re-sent after backoff, summed. */
+    std::size_t totalTransferRetries = 0;
+
+    /** Residual replans after exhausted retry budgets, summed. */
+    std::size_t totalFaultReplans = 0;
+
+    /** Undelivered bytes that had to be re-sent, summed. */
+    double totalLostBytes = 0.0;
+
+    /** Mean simulated seconds per trial spent in retry backoff. */
+    double meanBackoffSeconds = 0.0;
+
+    /** Gauge attempts lost to ProbeLoss/GaugeTimeout, summed. */
+    std::size_t totalGaugeFaults = 0;
+
+    /** Trials whose predictor left the healthy-model rung at least
+     *  once (worstPredictorMode > 0). */
+    std::size_t trialsDegraded = 0;
+
     std::size_t trials = 0;
 };
 

@@ -108,6 +108,20 @@ struct PendingTransfer
     DcId src, dst;
     Bytes bytes;
     Seconds done = 0.0;
+
+    /** 0-based send attempt this flight is (retries increment). */
+    std::size_t attempt = 0;
+};
+
+/** An aborted (or blackout-deferred) transfer waiting out backoff.
+ *  Its bytes live here, not in the stage assignment, until it flies:
+ *  a retry the stage guard drops never reaches the compute phase. */
+struct RetryItem
+{
+    DcId src, dst;
+    Bytes bytes;
+    std::size_t attempt = 0;
+    Seconds due = 0.0;
 };
 
 /**
@@ -319,6 +333,41 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
     std::vector<Bytes> stageInput = inputByDc;
     bool sawWanTraffic = false;
 
+    // --- fault injection & recovery state ----------------------------
+    // Null `faults` keeps every code path below structurally identical
+    // to a fault-free build: the lambdas exist but are never invoked
+    // with work to do, and the stage loop schedules no extra events.
+    const fault::FaultPlan *faults = opts.faults;
+    if (faults == nullptr && opts.dynamics != nullptr)
+        faults = opts.dynamics->faultPlan();
+    if (faults != nullptr && faults->empty())
+        faults = nullptr;
+    fatalIf(faults != nullptr && faults->dcCount() != n,
+            "Engine::run: fault plan compiled for a different cluster "
+            "size");
+    fault::PredictorHealth health(opts.predictorHealth);
+    std::vector<char> agentCrashed(n, 0);
+    Seconds faultCursor = -1.0;
+    std::uint64_t retryRngState = runSeed ^ 0xfa177e7ULL;
+    auto notePredictorMode = [&]() {
+        ++result.predictorModeSwitches;
+        result.worstPredictorMode =
+            std::max(result.worstPredictorMode,
+                     static_cast<int>(health.mode()));
+    };
+
+    // Per-stage execution state, hoisted to run scope so the recovery
+    // lambdas and the retrain path share one view of the in-flight
+    // stage; reset at the top of each stage. The EventClock's seq
+    // counter keeps running across clear(), so hoisting it preserves
+    // the pre-fault pop order bit for bit.
+    std::map<TransferId, PendingTransfer> pending;
+    std::vector<PendingTransfer> retired;
+    Matrix<Bytes> assignment;
+    EventClock clock;
+    std::vector<RetryItem> retries;
+    std::size_t stageIdx = 0;
+
     // Forecast-aware planning state: warm-start memory for the
     // fraction-search schedulers (per run, because scheduler
     // instances are shared across parallel trials and must stay
@@ -341,6 +390,206 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
         return {};
     };
 
+    // --- fault recovery machinery ------------------------------------
+    // Start (or blackout-defer) one shuffle transfer whose bytes are
+    // already counted in `assignment`. A pair that is dark right now
+    // holds its bytes back in the retry queue (and out of the
+    // assignment) until the blackout clears.
+    auto startShuffleTransfer = [&](DcId i, DcId j, Bytes bytes,
+                                    std::size_t attempt) -> bool {
+        if (faults != nullptr &&
+            faults->pairBlackedOutAt(i, j, sim.now())) {
+            assignment.at(i, j) -= bytes;
+            const Seconds due =
+                faults->blackoutClearTime(i, j, sim.now());
+            result.backoffSeconds += due - sim.now();
+            retries.push_back({i, j, bytes, attempt, due});
+            clock.push(due, ClockEventKind::RetryDue);
+            return false;
+        }
+        const TransferId id = sim.startTransfer(
+            shuffleEndpointVm(topo_, i), shuffleEndpointVm(topo_, j),
+            bytes, connectionsFor(i, j));
+        pending[id] = {i, j, bytes, 0.0, attempt};
+        return true;
+    };
+
+    // A transfer that exhausted its retry budget re-places its
+    // undelivered bytes as a fresh residual placement with the dead
+    // pair's believed bandwidth floored, so the fraction search routes
+    // around it (the replan-of-undelivered-bytes path, alternate-path
+    // flavor). No warm-start memory: the penalized belief has a
+    // different shape than the stage's original plan.
+    auto replanResidual = [&](DcId src, DcId dst, Bytes bytes) {
+        ++result.faultReplans;
+        std::vector<Bytes> residual(n, 0.0);
+        residual[src] = bytes;
+        Matrix<Mbps> penalized = opts.schedulerBw;
+        penalized.at(src, dst) = core::BwForecast::kMinFeasibleMbps;
+        StageContext rctx =
+            makeContext(job, stageIdx, residual, penalized);
+        const core::BwForecast fc = buildForecast();
+        if (!fc.empty()) {
+            rctx.forecast = &fc;
+            rctx.planTime = sim.now();
+        }
+        const Matrix<Bytes> placed = scheduler.placeStage(rctx);
+        for (DcId i = 0; i < n; ++i) {
+            for (DcId j = 0; j < n; ++j) {
+                const Bytes b = placed.at(i, j);
+                if (b < 1.0)
+                    continue;
+                assignment.at(i, j) += b;
+                if (i == j)
+                    continue;
+                startShuffleTransfer(i, j, b, 0);
+            }
+        }
+    };
+
+    // Kill one in-flight transfer: retire its delivered part, drop the
+    // remainder from the assignment, and either queue a backed-off
+    // retry or fall through to the residual replan.
+    auto abortTransfer = [&](TransferId id) {
+        auto it = pending.find(id);
+        if (it == pending.end())
+            return;
+        const auto status = sim.status(id);
+        if (!status.exists || status.done ||
+            status.bytesRemaining < 1.0)
+            return; // effectively delivered; completion handling owns it
+        const PendingTransfer t = it->second;
+        assignment.at(t.src, t.dst) -= status.bytesRemaining;
+        if (status.bytesMoved >= 1.0) {
+            PendingTransfer part = t;
+            part.bytes = status.bytesMoved;
+            part.done = sim.now();
+            retired.push_back(part);
+        }
+        sim.stopTransfer(id);
+        pending.erase(it);
+        ++result.transferAborts;
+        result.lostBytes += status.bytesRemaining;
+        if (t.attempt + 1 < opts.retry.maxAttempts) {
+            Seconds due = sim.now() +
+                          opts.retry.backoff(t.attempt,
+                                             splitmix64(retryRngState));
+            if (faults != nullptr)
+                due = std::max(due, faults->blackoutClearTime(
+                                        t.src, t.dst, due));
+            result.backoffSeconds += due - sim.now();
+            retries.push_back({t.src, t.dst, status.bytesRemaining,
+                               t.attempt + 1, due});
+            clock.push(due, ClockEventKind::RetryDue);
+        } else {
+            replanResidual(t.src, t.dst, status.bytesRemaining);
+        }
+    };
+
+    // Launch every queued retry whose backoff has expired. A retry
+    // that finds its pair dark again nets back out of the assignment
+    // and re-queues with a later due time, so the index scan below
+    // never revisits it this pass.
+    auto startDueRetries = [&]() {
+        for (std::size_t k = 0; k < retries.size();) {
+            if (retries[k].due > sim.now() + 1.0e-9) {
+                ++k;
+                continue;
+            }
+            const RetryItem item = retries[k];
+            retries.erase(retries.begin() +
+                          static_cast<std::ptrdiff_t>(k));
+            assignment.at(item.src, item.dst) += item.bytes;
+            if (startShuffleTransfer(item.src, item.dst, item.bytes,
+                                     item.attempt) &&
+                item.attempt > 0)
+                ++result.transferRetries;
+        }
+    };
+
+    auto crashAgentAt = [&](int dc) {
+        ++result.agentCrashes;
+        if (agentCrashed[static_cast<std::size_t>(dc)])
+            return;
+        agentCrashed[static_cast<std::size_t>(dc)] = 1;
+        // The dead agent's throttles dissolve: its outgoing pairs fall
+        // back to unthrottled contention until it restarts.
+        for (DcId j = 0; j < n; ++j)
+            if (static_cast<DcId>(dc) != j)
+                sim.setTcLimit(static_cast<DcId>(dc), j, 0.0);
+    };
+    auto restartCrashedAgents = [&](Seconds t) {
+        for (DcId dc = 0; dc < n; ++dc) {
+            if (!agentCrashed[dc] || faults->agentCrashedAt(
+                                         static_cast<int>(dc), t))
+                continue;
+            agentCrashed[dc] = 0;
+            for (auto &agent : agents) {
+                if (agent->sourceDc() != dc)
+                    continue;
+                agent->applyTargets();
+                agent->resetWindow();
+            }
+        }
+    };
+    // Crashed agents must not re-throttle, so a redeploy (which
+    // installs fresh static throttles for every DC) re-clears theirs.
+    auto clearCrashedThrottles = [&]() {
+        for (DcId dc = 0; dc < n; ++dc)
+            if (agentCrashed[dc])
+                for (DcId j = 0; j < n; ++j)
+                    if (dc != j)
+                        sim.setTcLimit(dc, j, 0.0);
+    };
+
+    // Fire every fault whose start lies in (faultCursor, t], then
+    // restart agents whose crash windows have closed. ProbeLoss /
+    // GaugeTimeout have no edge action — the retrain path queries
+    // their windows at gauge time.
+    auto applyFaultsUpTo = [&](Seconds t) {
+        if (faults == nullptr)
+            return;
+        std::vector<std::size_t> started;
+        faults->startsIn(faultCursor, t, started);
+        for (std::size_t fi : started) {
+            const fault::CompiledFault &cf = faults->events()[fi];
+            ++result.faultsInjected;
+            switch (cf.ev.kind) {
+            case fault::FaultKind::TransferAbort: {
+                std::vector<TransferId> hit;
+                for (const auto &[id, tr] : pending)
+                    if ((cf.ev.src == fault::kAnyDc ||
+                         static_cast<DcId>(cf.ev.src) == tr.src) &&
+                        (cf.ev.dst == fault::kAnyDc ||
+                         static_cast<DcId>(cf.ev.dst) == tr.dst))
+                        hit.push_back(id);
+                for (const TransferId id : hit)
+                    abortTransfer(id);
+                break;
+            }
+            case fault::FaultKind::DcBlackout: {
+                ++result.blackouts;
+                std::vector<TransferId> hit;
+                for (const auto &[id, tr] : pending)
+                    if (tr.src == static_cast<DcId>(cf.ev.dc) ||
+                        tr.dst == static_cast<DcId>(cf.ev.dc))
+                        hit.push_back(id);
+                for (const TransferId id : hit)
+                    abortTransfer(id);
+                break;
+            }
+            case fault::FaultKind::AgentCrash:
+                crashAgentAt(cf.ev.dc);
+                break;
+            case fault::FaultKind::ProbeLoss:
+            case fault::FaultKind::GaugeTimeout:
+                break;
+            }
+        }
+        faultCursor = std::max(faultCursor, t);
+        restartCrashedAgents(t);
+    };
+
     // The online learning loop (Section 3.3.4), invoked when the
     // drift gauge fires under adaptOnDrift: clear the stale
     // throttles, gauge the live network (snapshot + one epoch of
@@ -351,10 +600,56 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
     // ControlProbe brackets the whole window so the probes bill to
     // WANify's control plane, not the query.
     auto retrainAndRedeploy =
-        [&](std::map<TransferId, PendingTransfer> &pending,
-            Matrix<Bytes> &assignment, std::size_t stageIdx,
-            std::vector<PendingTransfer> &retired,
-            Seconds &nextEpoch) {
+        [&](Seconds &nextEpoch) {
+            fault::FaultKind gaugeKind = fault::FaultKind::ProbeLoss;
+            if (faults != nullptr &&
+                faults->gaugeFaultAt(sim.now(), &gaugeKind)) {
+                // The gauge never lands: no training rows, no fresh
+                // prediction. A hung probe (GaugeTimeout) still costs
+                // the measurement epoch; a fast error (ProbeLoss)
+                // does not. Step the health ladder down and re-plan
+                // from the best belief the ladder still allows —
+                // trend extrapolation, then the static a-priori
+                // matrix.
+                ++result.gaugeFaults;
+                if (gaugeKind == fault::FaultKind::GaugeTimeout)
+                    sim.runUntilAllComplete(sim.now() + epoch);
+                if (health.recordFailure())
+                    notePredictorMode();
+                Matrix<Mbps> belief;
+                if (health.mode() == fault::PredictorMode::Trend &&
+                    trend.size() > 0) {
+                    belief = trend.extrapolateAt(sim.now());
+                    ++result.trendPlans;
+                } else {
+                    belief = opts.schedulerBw;
+                    ++result.staticPlans;
+                }
+                // Sanitize: the ladder exists precisely because bad
+                // data shows up on this path.
+                for (DcId i = 0; i < n; ++i)
+                    for (DcId j = 0; j < n; ++j)
+                        if (!std::isfinite(belief.at(i, j)) ||
+                            belief.at(i, j) < 0.0)
+                            belief.at(i, j) =
+                                opts.schedulerBw.at(i, j);
+                deployment.clear(sim);
+                plan = opts.wanify->plan(belief, opts.skewWeights,
+                                         opts.rvec);
+                deployment = opts.wanify->deploy(sim, plan, belief);
+                for (auto &agent : agents) {
+                    if (agentCrashed[agent->sourceDc()])
+                        continue;
+                    agent->applyTargets();
+                    agent->resetWindow();
+                }
+                clearCrashedThrottles();
+                predicted = belief;
+                // Do not trend.record(): feeding extrapolations back
+                // into the trend would let the ladder hallucinate.
+                nextEpoch = sim.now();
+                return;
+            }
             // Scoped so the probe settles its control-plane bill
             // before any re-planned transfer starts; a transfer
             // opened inside the window would otherwise be misread
@@ -425,11 +720,20 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
             deployment =
                 opts.wanify->deploy(sim, plan, predicted);
             for (auto &agent : agents) {
+                if (faults != nullptr &&
+                    agentCrashed[agent->sourceDc()])
+                    continue;
                 agent->applyTargets();
                 agent->resetWindow();
             }
+            if (faults != nullptr)
+                clearCrashedThrottles();
             }
             trend.record(sim.now(), predicted);
+            // A gauge landed: the predictor proved itself, so the
+            // degradation ladder steps one rung back up.
+            if (faults != nullptr && health.recordSuccess())
+                notePredictorMode();
 
             // Incremental re-plan: stop what is still in flight,
             // re-place only the undelivered bytes under the
@@ -479,11 +783,7 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
                             assignment.at(i, j) += bytes;
                             if (i == j)
                                 continue;
-                            const TransferId id = sim.startTransfer(
-                                shuffleEndpointVm(topo_, i),
-                                shuffleEndpointVm(topo_, j), bytes,
-                                connectionsFor(i, j));
-                            pending[id] = {i, j, bytes, 0.0};
+                            startShuffleTransfer(i, j, bytes, 0);
                         }
                     }
                 }
@@ -497,6 +797,16 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
         stageResult.name = spec.name;
         stageResult.start = sim.now();
 
+        stageIdx = s;
+        pending.clear();
+        retired.clear();
+        retries.clear();
+        clock.clear();
+        // Faults due before the shuffle opens (e.g. a crash during the
+        // previous compute phase's tail) take effect now, so placement
+        // and the blackout check below see the true fault state.
+        applyFaultsUpTo(sim.now());
+
         StageContext ctx =
             makeContext(job, s, stageInput, opts.schedulerBw);
         ctx.memory = &planMemory;
@@ -505,26 +815,22 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
             ctx.forecast = &stageForecast;
             ctx.planTime = sim.now();
         }
-        Matrix<Bytes> assignment = scheduler.placeStage(ctx);
+        assignment = scheduler.placeStage(ctx);
         fatalIf(assignment.rows() != n || assignment.cols() != n,
                 "Engine::run: scheduler assignment shape mismatch");
 
         // --- shuffle phase ------------------------------------------------
-        std::map<TransferId, PendingTransfer> pending;
-        std::vector<PendingTransfer> retired;
         for (DcId i = 0; i < n; ++i) {
             for (DcId j = 0; j < n; ++j) {
                 const Bytes bytes = assignment.at(i, j);
                 if (i == j || bytes < 1.0)
                     continue;
-                const TransferId id = sim.startTransfer(
-                    shuffleEndpointVm(topo_, i),
-                    shuffleEndpointVm(topo_, j),
-                    bytes, connectionsFor(i, j));
-                pending[id] = {i, j, bytes, 0.0};
+                startShuffleTransfer(i, j, bytes, 0);
             }
         }
         for (auto &agent : agents) {
+            if (faults != nullptr && agentCrashed[agent->sourceDc()])
+                continue;
             agent->applyTargets();
             agent->resetWindow();
         }
@@ -539,7 +845,6 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
         // identical arithmetic (each tick is pushed at the popped
         // tick's time + epoch, the same accumulation the legacy
         // `nextEpoch += epoch` performed).
-        EventClock clock;
         clock.push(guardEnd, ClockEventKind::StageGuard);
         clock.push(shuffleStart + epoch, ClockEventKind::EpochTick);
         if (eventClock && opts.dynamics != nullptr) {
@@ -552,8 +857,17 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
                                ? ClockEventKind::DynamicsChange
                                : ClockEventKind::BurstEdge);
         }
+        if (faults != nullptr) {
+            // Fault starts and window-clear instants are first-class
+            // events in BOTH clock modes: recovery must not wait for
+            // the epoch grid.
+            std::vector<Seconds> faultEdges;
+            faults->edgesIn(shuffleStart, guardEnd, faultEdges);
+            for (const Seconds t : faultEdges)
+                clock.push(t, ClockEventKind::FaultEdge);
+        }
 
-        while (!sim.allTransfersDone()) {
+        while (!sim.allTransfersDone() || !retries.empty()) {
             panicIf(clock.empty(),
                     "engine: event clock ran dry before the guard");
             const ClockEvent ev = clock.pop();
@@ -561,16 +875,37 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
             // them) make this a no-op; the handler below then applies
             // dynamics at now() rather than rewinding to ev.time.
             sim.runUntilAllComplete(ev.time);
-            if (sim.allTransfersDone())
+            if (sim.allTransfersDone() && retries.empty())
                 break;
+            if (faults != nullptr && sim.allTransfersDone() &&
+                ev.time > sim.now()) {
+                // Nothing in flight but retries are waiting out their
+                // backoff: runUntilAllComplete returns without moving
+                // an idle sim, so idle-wait explicitly.
+                sim.advanceBy(ev.time - sim.now());
+            }
             if (ev.kind == ClockEventKind::StageGuard) {
                 logging::warn("stage '" + spec.name +
                               "' hit the per-stage guard");
                 // Abort stragglers so they cannot leak into later
                 // stages; they are billed as if finishing now.
+                // Queued retries die with the stage — their bytes
+                // already left the assignment.
                 for (const auto &[id, t] : pending)
                     sim.stopTransfer(id);
+                retries.clear();
                 break;
+            }
+            if (ev.kind == ClockEventKind::FaultEdge) {
+                dynamics.advanceTo(sim.now());
+                applyFaultsUpTo(sim.now());
+                startDueRetries();
+                continue;
+            }
+            if (ev.kind == ClockEventKind::RetryDue) {
+                dynamics.advanceTo(sim.now());
+                startDueRetries();
+                continue;
             }
             if (ev.kind != ClockEventKind::EpochTick) {
                 // A dynamics edge at its true instant: install the
@@ -581,8 +916,13 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
                 continue;
             }
             Seconds tickBase = ev.time;
-            for (auto &agent : agents)
+            applyFaultsUpTo(sim.now());
+            for (auto &agent : agents) {
+                if (faults != nullptr &&
+                    agentCrashed[agent->sourceDc()])
+                    continue;
                 agent->onEpoch();
+            }
             dynamics.advanceTo(sim.now());
 
             if (opts.wanify != nullptr) {
@@ -596,14 +936,18 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
                     if (opts.adaptOnDrift &&
                         !opts.predictedBwOverride.has_value() &&
                         model != nullptr && model->trained()) {
-                        retrainAndRedeploy(pending, assignment, s,
-                                           retired, tickBase);
+                        retrainAndRedeploy(tickBase);
                     }
                     // With or without the adaptive path, the model
                     // is considered recalibrated on current
                     // conditions from here.
                     drift.rebase(sim);
                 }
+            }
+            if (faults != nullptr) {
+                // A retrain may have consumed time past queued retry
+                // deadlines; launch the stale ones now.
+                startDueRetries();
             }
             clock.push(tickBase + epoch, ClockEventKind::EpochTick);
         }
@@ -698,6 +1042,9 @@ Engine::run(const JobSpec &job, const std::vector<Bytes> &inputByDc,
         // application of the phase: rates only matter while
         // transfers are active).
         dynamics.advanceTo(sim.now());
+        // Crashes and recoveries during the compute phase land here;
+        // transfer-killing faults are no-ops (everything delivered).
+        applyFaultsUpTo(sim.now());
         stageResult.end = sim.now();
 
         result.stages.push_back(stageResult);

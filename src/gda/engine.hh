@@ -28,6 +28,7 @@
 #include "core/forecast.hh"
 #include "core/wanify.hh"
 #include "cost/cost_model.hh"
+#include "fault/fault.hh"
 #include "gda/job.hh"
 #include "gda/scheduler.hh"
 #include "net/network_sim.hh"
@@ -106,6 +107,50 @@ struct QueryResult
 
     /** Sum of retrainLatencies (0 when no retrain fired). */
     double retrainCpuSeconds = 0.0;
+
+    // --- fault & recovery telemetry (runs with a FaultPlan only) -----
+
+    /** Fault events that fired inside this run's horizon. */
+    std::size_t faultsInjected = 0;
+
+    /** In-flight transfers killed by TransferAbort / DcBlackout. */
+    std::size_t transferAborts = 0;
+
+    /** Aborted transfers re-sent after backoff. */
+    std::size_t transferRetries = 0;
+
+    /** Residual re-placements after a transfer exhausted its retry
+     *  budget (the replan-of-undelivered-bytes path). */
+    std::size_t faultReplans = 0;
+
+    /** Bytes that were in flight when an abort struck and had to be
+     *  re-sent via retry or replan (the delivered prefix of each
+     *  aborted transfer stays where it landed). */
+    Bytes lostBytes = 0.0;
+
+    /** Total simulated seconds spent waiting out retry backoffs. */
+    Seconds backoffSeconds = 0.0;
+
+    /** Gauge attempts lost to ProbeLoss / GaugeTimeout windows. */
+    std::size_t gaugeFaults = 0;
+
+    /** Degradation-ladder transitions (down or up) this run. */
+    std::size_t predictorModeSwitches = 0;
+
+    /** Worst rung reached: 0 model, 1 trend, 2 static. */
+    int worstPredictorMode = 0;
+
+    /** Replans served by GaugeTrend extrapolation (trend rung). */
+    std::size_t trendPlans = 0;
+
+    /** Replans served by the static a-priori matrix (static rung). */
+    std::size_t staticPlans = 0;
+
+    /** AgentCrash faults that took an AIMD agent down. */
+    std::size_t agentCrashes = 0;
+
+    /** DcBlackout faults that fired. */
+    std::size_t blackouts = 0;
 
     std::vector<StageResult> stages;
     Matrix<Bytes> wanBytesByPair;
@@ -226,6 +271,21 @@ struct RunOptions
      * Null = each run keeps a private dataset.
      */
     core::BandwidthAnalyzer *campaign = nullptr;
+
+    /**
+     * Hard-fault schedule. Null = consume the dynamics source's
+     * faultPlan() (itself null for fault-free sources); an explicit
+     * plan overrides it. Empty plans are treated as null, so a
+     * fault-free run stays structurally identical to pre-fault
+     * builds.
+     */
+    const fault::FaultPlan *faults = nullptr;
+
+    /** Backoff schedule for aborted transfers. */
+    fault::RetryPolicy retry;
+
+    /** Degradation-ladder thresholds for gauge failures. */
+    fault::PredictorHealthConfig predictorHealth;
 
     /** Safety cap per stage. */
     Seconds maxStageSeconds = 6.0 * 3600.0;

@@ -45,6 +45,8 @@ enum class ClockEventKind
     EpochTick = 1,     ///< AIMD epoch: agents, drift gauge, retrain
     DynamicsChange = 2,///< a scripted factor window opens or closes
     BurstEdge = 3,     ///< a flash-crowd burst starts or expires
+    FaultEdge = 4,     ///< a hard fault fires or its window clears
+    RetryDue = 5,      ///< an aborted transfer's backoff expires
 };
 
 /** One scheduled wake-up of the stage loop. */

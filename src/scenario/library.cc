@@ -175,6 +175,73 @@ cascading()
     return spec;
 }
 
+fault::FaultEvent
+faultAt(fault::FaultKind kind, Seconds time, Seconds duration)
+{
+    fault::FaultEvent fe;
+    fe.kind = kind;
+    fe.time = time;
+    fe.duration = duration;
+    return fe;
+}
+
+ScenarioSpec
+faultStorm()
+{
+    ScenarioSpec spec;
+    spec.name = "fault-storm";
+    spec.description =
+        "Hard-failure storm on a mild diurnal baseline: in-flight "
+        "transfers into DC1 aborted at t=30 and t=75, every gauge "
+        "lost in [50, 140), and DC2's AIMD agent down for 60 s — "
+        "retry/backoff, the prediction degradation ladder, and "
+        "unthrottled-fallback all at once.";
+    spec.horizon = 300.0;
+    ScenarioEvent day =
+        event(EventKind::Diurnal, kAnyDc, kAnyDc, 0.0, kForever, 0.2);
+    day.period = 240.0;
+    spec.events.push_back(day);
+
+    fault::FaultEvent abortIn =
+        faultAt(fault::FaultKind::TransferAbort, 30.0, 0.0);
+    abortIn.dst = 1;
+    spec.faults.push_back(abortIn);
+    abortIn.time = 75.0;
+    spec.faults.push_back(abortIn);
+    spec.faults.push_back(
+        faultAt(fault::FaultKind::ProbeLoss, 50.0, 90.0));
+    fault::FaultEvent crash =
+        faultAt(fault::FaultKind::AgentCrash, 60.0, 60.0);
+    crash.dc = 2;
+    spec.faults.push_back(crash);
+    return spec;
+}
+
+ScenarioSpec
+blackout()
+{
+    ScenarioSpec spec;
+    spec.name = "blackout";
+    spec.description =
+        "DC3 goes dark, hard: a 75-s blackout aborts every in-flight "
+        "transfer touching DC3 and blocks new ones until it clears, "
+        "layered on the soft capacity outage — lost bytes must be "
+        "retried or re-placed on alternate paths.";
+    spec.horizon = 240.0;
+    ScenarioEvent out =
+        event(EventKind::Outage, 3, kAnyDc, 60.0, 75.0, 0.0);
+    out.residual = 0.02;
+    spec.events.push_back(out);
+    out.src = kAnyDc;
+    out.dst = 3;
+    spec.events.push_back(out);
+    fault::FaultEvent dark =
+        faultAt(fault::FaultKind::DcBlackout, 60.0, 75.0);
+    dark.dc = 3;
+    spec.faults.push_back(dark);
+    return spec;
+}
+
 } // namespace
 
 std::vector<std::string>
@@ -183,6 +250,12 @@ libraryScenarioNames()
     return {"steady",      "diurnal",     "degrading-link",
             "dc-outage",   "flash-crowd", "maintenance",
             "rtt-storm",   "cascading"};
+}
+
+std::vector<std::string>
+faultScenarioNames()
+{
+    return {"fault-storm", "blackout"};
 }
 
 ScenarioSpec
@@ -204,6 +277,10 @@ libraryScenario(const std::string &name)
         return rttStorm();
     if (name == "cascading")
         return cascading();
+    if (name == "fault-storm")
+        return faultStorm();
+    if (name == "blackout")
+        return blackout();
     fatal("unknown scenario: " + name +
           " (see wanify-scenario list)");
 }
@@ -212,6 +289,9 @@ bool
 isLibraryScenario(const std::string &name)
 {
     for (const auto &n : libraryScenarioNames())
+        if (n == name)
+            return true;
+    for (const auto &n : faultScenarioNames())
         if (n == name)
             return true;
     return false;

@@ -26,6 +26,17 @@ namespace scenario {
 /** Names of the built-in scenarios, in presentation order. */
 std::vector<std::string> libraryScenarioNames();
 
+/**
+ * Names of the built-in hard-fault scenarios (transfer aborts, gauge
+ * outages, agent crashes, DC blackouts), in presentation order.
+ * Deliberately a separate list: campaignDynamics() cycles
+ * libraryScenarioNames() by index, so growing that list would
+ * silently re-condition every scenario-trained predictor. Fault
+ * scenarios resolve through the same libraryScenario() /
+ * isLibraryScenario() lookups.
+ */
+std::vector<std::string> faultScenarioNames();
+
 /** Look up a built-in scenario by name; fatal() on unknown names. */
 ScenarioSpec libraryScenario(const std::string &name);
 

@@ -57,6 +57,12 @@ Dynamics::changePointsIn(Seconds, Seconds,
                          std::vector<ChangePoint> &) const
 {}
 
+const fault::FaultPlan *
+Dynamics::faultPlan() const
+{
+    return nullptr;
+}
+
 BurstCursor::BurstCursor(const Dynamics *dynamics)
     : dynamics_(dynamics)
 {}
@@ -177,6 +183,18 @@ ScenarioTimeline::ScenarioTimeline(ScenarioSpec spec,
         }
         events_.push_back(ce);
     }
+
+    // Faults compile through their own seed derivation (see
+    // FaultPlan): a spec that adds faults draws the same scenario
+    // event jitter as one that doesn't.
+    if (!spec_.faults.empty())
+        faults_ = fault::FaultPlan(spec_.faults, dcCount_, seed_);
+}
+
+const fault::FaultPlan *
+ScenarioTimeline::faultPlan() const
+{
+    return faults_.empty() ? nullptr : &faults_;
 }
 
 bool

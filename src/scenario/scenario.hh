@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/units.hh"
+#include "fault/fault.hh"
 #include "net/network_sim.hh"
 
 namespace wanify {
@@ -134,6 +135,10 @@ struct ScenarioSpec
     Seconds horizon = 300.0;
 
     std::vector<ScenarioEvent> events;
+
+    /** Hard-fault storm riding along with the capacity events
+     *  (compiled into a fault::FaultPlan by the timeline). */
+    std::vector<fault::FaultEvent> faults;
 };
 
 /** A background flow a dynamics source wants started. */
@@ -217,6 +222,14 @@ class Dynamics
      */
     virtual void changePointsIn(Seconds t0, Seconds t1,
                                 std::vector<ChangePoint> &out) const;
+
+    /**
+     * Hard-fault schedule riding along with this dynamics source, or
+     * nullptr when it carries none (the default — fault-free sources
+     * stay structurally identical to before faults existed). The
+     * plan's lifetime is the dynamics object's.
+     */
+    virtual const fault::FaultPlan *faultPlan() const;
 };
 
 /**
@@ -302,6 +315,7 @@ class ScenarioTimeline : public Dynamics
                                     Seconds t1) const override;
     void changePointsIn(Seconds t0, Seconds t1,
                         std::vector<ChangePoint> &out) const override;
+    const fault::FaultPlan *faultPlan() const override;
 
     const ScenarioSpec &spec() const { return spec_; }
     std::uint64_t seed() const { return seed_; }
@@ -320,6 +334,7 @@ class ScenarioTimeline : public Dynamics
     std::size_t dcCount_ = 0;
     std::uint64_t seed_ = 0;
     std::vector<CompiledEvent> events_;
+    fault::FaultPlan faults_;
 };
 
 } // namespace scenario

@@ -76,12 +76,34 @@ sameBursts(const std::vector<BurstFlow> &a,
 
 } // namespace
 
+namespace {
+
+bool
+sameFaults(const std::vector<fault::FaultEvent> &a,
+           const std::vector<fault::FaultEvent> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t k = 0; k < a.size(); ++k) {
+        if (a[k].kind != b[k].kind || a[k].src != b[k].src ||
+            a[k].dst != b[k].dst || a[k].dc != b[k].dc ||
+            a[k].time != b[k].time ||
+            a[k].duration != b[k].duration ||
+            a[k].startJitter != b[k].startJitter)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
 bool
 BwTrace::identical(const BwTrace &other) const
 {
     return dcs == other.dcs && times == other.times &&
            rows == other.rows && rttRows == other.rttRows &&
-           sameBursts(bursts, other.bursts);
+           sameBursts(bursts, other.bursts) &&
+           sameFaults(faults, other.faults);
 }
 
 std::uint64_t
@@ -110,6 +132,18 @@ BwTrace::hash() const
                   << 16);
         splitmix64(state);
     }
+    for (const auto &f : faults) {
+        state ^= doubleBits(f.time) ^ doubleBits(f.duration) ^
+                 doubleBits(f.startJitter) ^
+                 (static_cast<std::uint64_t>(f.kind) << 48) ^
+                 (static_cast<std::uint64_t>(
+                      static_cast<std::uint32_t>(f.src)) << 32) ^
+                 (static_cast<std::uint64_t>(
+                      static_cast<std::uint32_t>(f.dst)) << 16) ^
+                 static_cast<std::uint64_t>(
+                     static_cast<std::uint32_t>(f.dc));
+        splitmix64(state);
+    }
     std::uint64_t digest = state;
     return splitmix64(digest);
 }
@@ -136,6 +170,21 @@ BwTrace::toDataset() const
         y[3] = static_cast<double>(bursts[k].dst);
         y[4] = static_cast<double>(bursts[k].connections);
         data.add({-static_cast<double>(k + 1)}, std::move(y));
+    }
+    // Fault markers after the bursts: also t < 0, distinguished by a
+    // nonzero sixth slot (kind + 1; burst markers leave it 0).
+    for (std::size_t k = 0; k < faults.size(); ++k) {
+        std::vector<double> y(2 * pairs, 0.0);
+        y[0] = faults[k].time;
+        y[1] = faults[k].duration;
+        y[2] = static_cast<double>(faults[k].src);
+        y[3] = static_cast<double>(faults[k].dst);
+        y[4] = static_cast<double>(faults[k].dc);
+        y[5] = static_cast<double>(
+                   static_cast<int>(faults[k].kind)) + 1.0;
+        y[6] = faults[k].startJitter;
+        data.add({-static_cast<double>(bursts.size() + k + 1)},
+                 std::move(y));
     }
     return data;
 }
@@ -169,8 +218,28 @@ BwTrace::fromDataset(const ml::Dataset &data)
         const auto &y = data.y(i);
         if (t < 0.0) {
             fatalIf(!withRtt,
-                    "BwTrace::fromDataset: burst marker in a legacy "
+                    "BwTrace::fromDataset: marker row in a legacy "
                     "trace");
+            if (y[5] != 0.0) {
+                // Fault marker: kind rides in the sixth slot as
+                // kind + 1 so burst markers (slot = 0) stay distinct.
+                const int kind = static_cast<int>(y[5]) - 1;
+                fatalIf(kind < 0 ||
+                            kind > static_cast<int>(
+                                       fault::FaultKind::DcBlackout),
+                        "BwTrace::fromDataset: unknown fault kind "
+                        "marker");
+                fault::FaultEvent fe;
+                fe.kind = static_cast<fault::FaultKind>(kind);
+                fe.time = y[0];
+                fe.duration = y[1];
+                fe.src = static_cast<int>(y[2]);
+                fe.dst = static_cast<int>(y[3]);
+                fe.dc = static_cast<int>(y[4]);
+                fe.startJitter = y[6];
+                trace.faults.push_back(fe);
+                continue;
+            }
             BurstFlow burst;
             burst.start = y[0];
             burst.duration = y[1];
@@ -200,7 +269,17 @@ writeTraceCsv(const std::string &path, const BwTrace &trace)
 BwTrace
 readTraceCsv(const std::string &path)
 {
-    return BwTrace::fromDataset(ml::readCsvFile(path));
+    // Re-raise parse/layout failures with the file path attached:
+    // "unreadable CSV" without a name is useless from the CLI.
+    try {
+        return BwTrace::fromDataset(ml::readCsvFile(path));
+    } catch (const FatalError &e) {
+        std::string what = e.what();
+        const std::string prefix = "fatal: ";
+        if (what.rfind(prefix, 0) == 0)
+            what = what.substr(prefix.size());
+        fatal("cannot read trace '" + path + "': " + what);
+    }
 }
 
 std::vector<double>
@@ -226,6 +305,14 @@ TraceReplay::TraceReplay(BwTrace trace) : trace_(std::move(trace))
 {
     fatalIf(trace_.empty(), "TraceReplay: empty trace");
     checkParallelRows(trace_, "TraceReplay");
+    if (!trace_.faults.empty())
+        faults_ = fault::FaultPlan(trace_.faults, trace_.dcs, 0);
+}
+
+const fault::FaultPlan *
+TraceReplay::faultPlan() const
+{
+    return faults_.empty() ? nullptr : &faults_;
 }
 
 void

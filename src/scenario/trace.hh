@@ -56,6 +56,14 @@ struct BwTrace
     std::vector<BurstFlow> bursts;
 
     /**
+     * Hard-fault events riding along with the trace. Store resolved
+     * times (startJitter = 0) when recording: replay compiles them
+     * with a fixed seed, so unresolved jitter would not reproduce
+     * the recorded run.
+     */
+    std::vector<fault::FaultEvent> faults;
+
+    /**
      * Append one sample; multipliers.size() must equal dcs * dcs.
      * An empty @p rttFactors means "no inflation" (all factors 1).
      */
@@ -75,7 +83,9 @@ struct BwTrace
      * Convert to a dataset: feature `t`, 2 n^2 targets (capacity
      * multipliers then RTT factors, both src * n + dst). Burst events
      * are appended as marker rows with t < 0 carrying (start,
-     * duration, src, dst, connections) in the first five targets.
+     * duration, src, dst, connections) in the first five targets;
+     * fault events follow as marker rows whose sixth target is the
+     * fault kind + 1 (nonzero — burst markers leave it 0).
      */
     ml::Dataset toDataset() const;
 
@@ -84,10 +94,11 @@ struct BwTrace
     static BwTrace fromDataset(const ml::Dataset &data);
 };
 
-/** Write a trace as CSV; fatal() on I/O failure. */
+/** Write a trace as CSV; throws FatalError on I/O failure. */
 void writeTraceCsv(const std::string &path, const BwTrace &trace);
 
-/** Read a trace written by writeTraceCsv; fatal() on I/O failure. */
+/** Read a trace written by writeTraceCsv; throws FatalError naming
+ *  @p path on a missing, truncated, or malformed file. */
 BwTrace readTraceCsv(const std::string &path);
 
 /**
@@ -130,10 +141,15 @@ class TraceReplay : public Dynamics
     void changePointsIn(Seconds t0, Seconds t1,
                         std::vector<ChangePoint> &out) const override;
 
+    /** Fault plan compiled from the trace's recorded fault events
+     *  (fixed seed: recorded times are already resolved). */
+    const fault::FaultPlan *faultPlan() const override;
+
     const BwTrace &trace() const { return trace_; }
 
   private:
     BwTrace trace_;
+    fault::FaultPlan faults_;
 };
 
 } // namespace scenario

@@ -93,6 +93,13 @@ Service::Service(net::Topology topo, ServiceConfig cfg,
         burstCursor_ =
             std::make_unique<scenario::BurstCursor>(cfg_.dynamics);
     }
+    if (cfg_.faults == nullptr && cfg_.dynamics != nullptr)
+        cfg_.faults = cfg_.dynamics->faultPlan();
+    if (cfg_.faults != nullptr && cfg_.faults->empty())
+        cfg_.faults = nullptr;
+    fatalIf(cfg_.faults != nullptr && cfg_.faults->dcCount() != n,
+            "Service: fault plan compiled for a different cluster "
+            "size");
 }
 
 void
@@ -104,6 +111,96 @@ Service::applyDynamics()
     // Scenario bursts are other tenants' flows: group 0, competing
     // with every query through the allocator-managed mesh.
     burstCursor_->advanceTo(sim_, sim_.now());
+}
+
+std::size_t
+Service::effectiveSlotCap() const
+{
+    if (cfg_.faults == nullptr ||
+        !cfg_.faults->anyBlackoutAt(sim_.now()))
+        return cfg_.maxConcurrent;
+    const double scaled =
+        std::ceil(static_cast<double>(cfg_.maxConcurrent) *
+                  cfg_.blackoutAdmissionFactor);
+    return std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::max(0.0, scaled)));
+}
+
+void
+Service::killQueryRun(QueryState &q, Seconds at)
+{
+    for (const auto &[id, t] : q.pending)
+        sim_.stopTransfer(id);
+    q.pending.clear();
+    allocator_.release(sim_, q.group);
+    ++faultKills_;
+    if (q.outcome.requeues < cfg_.maxRequeues) {
+        // Tear the run down and send the query back through
+        // admission; re-execution starts from stage zero (delivered
+        // stage outputs of a killed run are not trusted).
+        ++q.outcome.requeues;
+        q.phase = Phase::Queued;
+        requeue_.push_back({q.index, at + cfg_.requeueBackoff});
+    } else {
+        q.outcome.killedByFault = true;
+        finishQuery(q, at, false);
+    }
+}
+
+void
+Service::applyFaults()
+{
+    if (cfg_.faults == nullptr)
+        return;
+    const Seconds now = sim_.now();
+    std::vector<std::size_t> started;
+    cfg_.faults->startsIn(faultCursor_, now, started);
+    faultCursor_ = std::max(faultCursor_, now);
+    if (started.empty())
+        return;
+
+    std::vector<std::size_t> victims;
+    for (const std::size_t fi : started) {
+        const fault::CompiledFault &cf = cfg_.faults->events()[fi];
+        // Gauge faults gate maybeRetrain at its own boundary; there
+        // is no per-query AIMD agent to crash on a shared mesh.
+        if (cf.ev.kind != fault::FaultKind::TransferAbort &&
+            cf.ev.kind != fault::FaultKind::DcBlackout)
+            continue;
+        for (const std::size_t idx : active_) {
+            QueryState &q = queries_[idx];
+            if (q.phase != Phase::Shuffling)
+                continue;
+            bool hit = false;
+            for (const auto &[id, t] : q.pending) {
+                if (cf.ev.kind == fault::FaultKind::DcBlackout)
+                    hit = t.src == static_cast<DcId>(cf.ev.dc) ||
+                          t.dst == static_cast<DcId>(cf.ev.dc);
+                else
+                    hit = (cf.ev.src == fault::kAnyDc ||
+                           static_cast<DcId>(cf.ev.src) == t.src) &&
+                          (cf.ev.dst == fault::kAnyDc ||
+                           static_cast<DcId>(cf.ev.dst) == t.dst);
+                if (hit)
+                    break;
+            }
+            if (hit)
+                victims.push_back(idx);
+        }
+    }
+    std::sort(victims.begin(), victims.end());
+    victims.erase(std::unique(victims.begin(), victims.end()),
+                  victims.end());
+    for (const std::size_t idx : victims)
+        killQueryRun(queries_[idx], now);
+    active_.erase(std::remove_if(active_.begin(), active_.end(),
+                                 [&](std::size_t idx) {
+                                     const Phase p =
+                                         queries_[idx].phase;
+                                     return p == Phase::Done ||
+                                            p == Phase::Queued;
+                                 }),
+                  active_.end());
 }
 
 double
@@ -187,12 +284,47 @@ Service::submit(QuerySpec spec)
 }
 
 void
+Service::admitQuery(QueryState &q, Seconds now, bool readmission)
+{
+    q.phase = Phase::Planning;
+    q.stage = 0;
+    q.stageInput = q.spec.inputByDc;
+    q.scheduler = makeScheduler(cfg_.scheduler);
+    // Pin the published predictor now: a service-level retrain
+    // may swap the facade's model at any completion boundary, but
+    // this query's planning evolves only from the pinned snapshot
+    // (the engine's per-run discipline, ported to admission).
+    if (wanify_ != nullptr)
+        q.model = wanify_->predictorSnapshot();
+    q.outcome.admitted = now;
+    if (!readmission) {
+        q.outcome.queueWait = now - q.spec.arrival;
+        if (q.outcome.queueWait > kTimeEps)
+            ++queuedAdmissions_;
+    }
+
+    active_.push_back(q.index);
+    peakConcurrent_ = std::max(peakConcurrent_, active_.size());
+}
+
+void
 Service::admitDueQueries()
 {
     const Seconds now = sim_.now();
     const bool held = admissionHeld();
+    const std::size_t cap = effectiveSlotCap();
+
+    // Fault-requeued queries re-enter first once their backoff
+    // expires — they have already waited since their kill.
+    while (!held && !requeue_.empty() && active_.size() < cap &&
+           requeue_.front().due <= now + kTimeEps) {
+        QueryState &q = queries_[requeue_.front().idx];
+        requeue_.erase(requeue_.begin());
+        admitQuery(q, now, /*readmission=*/true);
+    }
+
     while (nextArrival_ < arrivalOrder_.size() &&
-           active_.size() < cfg_.maxConcurrent) {
+           active_.size() < cap) {
         QueryState &q = queries_[arrivalOrder_[nextArrival_]];
         if (q.spec.arrival > now + kTimeEps)
             break;
@@ -206,24 +338,7 @@ Service::admitDueQueries()
             break;
         }
         ++nextArrival_;
-
-        q.phase = Phase::Planning;
-        q.stage = 0;
-        q.stageInput = q.spec.inputByDc;
-        q.scheduler = makeScheduler(cfg_.scheduler);
-        // Pin the published predictor now: a service-level retrain
-        // may swap the facade's model at any completion boundary, but
-        // this query's planning evolves only from the pinned snapshot
-        // (the engine's per-run discipline, ported to admission).
-        if (wanify_ != nullptr)
-            q.model = wanify_->predictorSnapshot();
-        q.outcome.admitted = now;
-        q.outcome.queueWait = now - q.spec.arrival;
-        if (q.outcome.queueWait > kTimeEps)
-            ++queuedAdmissions_;
-
-        active_.push_back(q.index);
-        peakConcurrent_ = std::max(peakConcurrent_, active_.size());
+        admitQuery(q, now, /*readmission=*/false);
     }
 }
 
@@ -525,13 +640,16 @@ Service::checkStragglersAndGuards()
         // Re-dispatch transfers that overshot their plan: stop the
         // flow and restart the remainder with doubled connections —
         // the classic speculative-retry answer to a path that turned
-        // out far slower than the predictor believed.
+        // out far slower than the predictor believed. Each transfer
+        // gets maxRedispatches attempts (historically exactly one).
         std::vector<std::pair<TransferId, ActiveTransfer>> retry;
         for (const auto &[id, t] : q.pending) {
             const Seconds budget =
                 cfg_.stragglerFactor *
                 std::max(cfg_.epoch, t.expected);
-            if (!t.redispatched && now - t.started > budget)
+            if (t.redispatches <
+                    static_cast<int>(cfg_.maxRedispatches) &&
+                now - t.started > budget)
                 retry.push_back({id, t});
         }
         for (auto &[id, t] : retry) {
@@ -552,7 +670,7 @@ Service::checkStragglersAndGuards()
             nt.bytes = remaining;
             nt.started = now;
             nt.connections = conns;
-            nt.redispatched = true;
+            ++nt.redispatches;
             q.pending[fresh] = nt;
             ++q.outcome.redispatches;
             q.outcome.wanBytes += remaining;
@@ -573,6 +691,11 @@ Service::maybeRetrain()
 {
     if (cfg_.retrainEveryCompleted == 0 || wanify_ == nullptr ||
         completedSinceRetrain_ < cfg_.retrainEveryCompleted)
+        return;
+    // Inside a ProbeLoss/GaugeTimeout window the gauge would never
+    // land: keep the stale model and try again next boundary.
+    if (cfg_.faults != nullptr &&
+        cfg_.faults->gaugeFaultAt(sim_.now()))
         return;
     const auto published = wanify_->predictorSnapshot();
     if (published == nullptr || !published->trained())
@@ -618,6 +741,7 @@ Service::buildReport() const
     report.retrainsPublished = retrainsPublished_;
     report.cappedPairRounds = cappedPairRounds_;
     report.forecastHeldAdmissions = forecastHeldAdmissions_;
+    report.faultKills = faultKills_;
 
     Seconds firstAdmitted = 0.0, lastFinished = 0.0;
     double xSum = 0.0, x2Sum = 0.0;
@@ -626,8 +750,12 @@ Service::buildReport() const
 
     for (const QueryState &q : queries_) {
         report.queries.push_back(q.outcome);
+        if (q.outcome.requeues > 0)
+            ++report.requeuedQueries;
         if (q.outcome.timedOut) {
             ++report.timedOut;
+        } else if (q.outcome.killedByFault) {
+            ++report.failedQueries;
         } else {
             ++report.completed;
             if (report.completed == 1 ||
@@ -652,6 +780,8 @@ Service::buildReport() const
         fnv1aU64(hash, q.outcome.redispatches);
         fnv1aU64(hash, q.outcome.stages);
         fnv1aU64(hash, q.outcome.timedOut ? 1 : 0);
+        fnv1aU64(hash, q.outcome.requeues);
+        fnv1aU64(hash, q.outcome.killedByFault ? 1 : 0);
     }
 
     if (report.completed > 0) {
@@ -687,18 +817,34 @@ Service::drain()
                   return a < b; // FIFO among simultaneous arrivals
               });
 
-    while (!active_.empty() ||
-           nextArrival_ < arrivalOrder_.size()) {
+    while (!active_.empty() || nextArrival_ < arrivalOrder_.size() ||
+           !requeue_.empty()) {
         applyDynamics();
+        applyFaults();
         admitDueQueries();
 
         if (active_.empty()) {
-            // Fully idle: fast-forward to the next arrival — or to
-            // the end of a forecast admission hold, whichever is
-            // later (a hold always resumes strictly in the future,
-            // so this cannot stall).
-            Seconds at =
-                queries_[arrivalOrder_[nextArrival_]].spec.arrival;
+            // Fully idle: fast-forward to the next arrival or the
+            // earliest requeue due time — or to the end of a forecast
+            // admission hold, whichever is later (a hold always
+            // resumes strictly in the future, so this cannot stall).
+            Seconds at = 0.0;
+            bool haveTarget = false;
+            if (nextArrival_ < arrivalOrder_.size()) {
+                at = queries_[arrivalOrder_[nextArrival_]]
+                         .spec.arrival;
+                haveTarget = true;
+            }
+            if (!requeue_.empty()) {
+                at = haveTarget ? std::min(at, requeue_.front().due)
+                                : requeue_.front().due;
+                haveTarget = true;
+            }
+            // Nothing active, queued, or due: a fault kill can
+            // terminally finish the last query between the loop
+            // check and here, so this is completion, not a stall.
+            if (!haveTarget)
+                break;
             if (admissionResumeAt_ > sim_.now())
                 at = std::max(at, admissionResumeAt_);
             if (at > sim_.now())
@@ -732,6 +878,11 @@ Service::drain()
             target =
                 std::min(target, std::max(now + kTimeEps, at));
         }
+        if (active_.size() < cfg_.maxConcurrent &&
+            !requeue_.empty())
+            target = std::min(target,
+                              std::max(now + kTimeEps,
+                                       requeue_.front().due));
         if (target <= now + kTimeEps)
             target = now + cfg_.epoch;
 

@@ -84,12 +84,47 @@ struct ServiceConfig
     /**
      * Re-dispatch a transfer still unfinished after stragglerFactor
      * times its planned duration: stop it and restart the remaining
-     * bytes with doubled connections (once per transfer). 0 disables.
+     * bytes with doubled connections. 0 disables.
      */
     double stragglerFactor = 4.0;
 
     /** Connection cap for re-dispatched transfers. */
     int maxRedispatchConnections = 8;
+
+    /**
+     * Re-dispatches allowed per transfer (each doubles connections up
+     * to maxRedispatchConnections). The default preserves the
+     * historical once-per-transfer behavior; 0 disables re-dispatch
+     * even with a positive stragglerFactor.
+     */
+    std::size_t maxRedispatches = 1;
+
+    // --- fault injection & recovery --------------------------------------
+
+    /**
+     * Hard-fault schedule applied to the shared mesh. Unlike the
+     * engine's per-transfer retry/backoff, the service recovers at
+     * query granularity: a query whose in-flight transfer a fault
+     * kills has its run torn down and re-admitted after
+     * requeueBackoff. Must be compiled for the service's cluster size
+     * and outlive the service. Null (or empty) = fault-free.
+     */
+    const fault::FaultPlan *faults = nullptr;
+
+    /** Re-admissions granted per fault-killed query before it is
+     *  reported failed. */
+    std::size_t maxRequeues = 2;
+
+    /** Delay before a fault-killed query re-enters admission. */
+    Seconds requeueBackoff = 30.0;
+
+    /**
+     * While any DC blackout is active, the admission slot cap shrinks
+     * to ceil(maxConcurrent * this), floored at one slot: admitting a
+     * full cohort into a degraded mesh only manufactures stragglers
+     * and fault kills.
+     */
+    double blackoutAdmissionFactor = 0.5;
 
     // --- non-stationary dynamics + forecast-aware planning ---------------
 
@@ -187,6 +222,13 @@ struct QueryOutcome
     std::size_t stages = 0;
     std::size_t redispatches = 0;
     bool timedOut = false;
+
+    /** Times a fault kill sent the query back to admission. */
+    std::size_t requeues = 0;
+
+    /** Fault-killed after exhausting maxRequeues (reported failed,
+     *  not completed). */
+    bool killedByFault = false;
 };
 
 /** Aggregate outcome of one drain(). */
@@ -221,6 +263,15 @@ struct ServiceReport
 
     /** Queries whose admission a forecast hold deferred. */
     std::size_t forecastHeldAdmissions = 0;
+
+    /** Query runs torn down by fault kills (incl. re-admitted ones). */
+    std::size_t faultKills = 0;
+
+    /** Queries re-admitted after a fault kill at least once. */
+    std::size_t requeuedQueries = 0;
+
+    /** Queries that exhausted maxRequeues and were reported failed. */
+    std::size_t failedQueries = 0;
 
     /** Sum over allocation rounds of pairs that got share caps. */
     std::size_t cappedPairRounds = 0;
@@ -264,7 +315,9 @@ class Service
         Seconds started = 0.0;
         Seconds expected = 0.0;
         int connections = 1;
-        bool redispatched = false;
+
+        /** Straggler re-dispatches this transfer already consumed. */
+        int redispatches = 0;
     };
 
     enum class Phase { Queued, Planning, Shuffling, Computing, Done };
@@ -309,7 +362,18 @@ class Service
         QueryOutcome outcome;
     };
 
+    /** A fault-killed query waiting out its re-admission backoff. */
+    struct PendingRequeue
+    {
+        std::size_t idx = 0;
+        Seconds due = 0.0;
+    };
+
     void applyDynamics();
+    void applyFaults();
+    std::size_t effectiveSlotCap() const;
+    void killQueryRun(QueryState &q, Seconds at);
+    void admitQuery(QueryState &q, Seconds now, bool readmission);
     bool admissionHeld();
     double meshMeanFactor(Seconds t) const;
     void admitDueQueries();
@@ -349,6 +413,12 @@ class Service
     Seconds admissionResumeAt_ = 0.0;
     Seconds holdCooloffUntil_ = 0.0;
     std::size_t forecastHeldAdmissions_ = 0;
+
+    /** Fault-killed queries awaiting re-admission, in due order
+     *  (backoff is constant, so appends keep it sorted). */
+    std::vector<PendingRequeue> requeue_;
+    Seconds faultCursor_ = -1.0;
+    std::size_t faultKills_ = 0;
 };
 
 } // namespace serve

@@ -417,6 +417,39 @@ TEST(Service, StragglerRedispatchFiresAndStaysDeterministic)
     EXPECT_EQ(a.resultHash, b.resultHash);
 }
 
+TEST(Service, MaxRedispatchesBoundsRepeatStragglers)
+{
+    // A budget factor this tiny declares a transfer straggling at
+    // every epoch check, so the re-dispatch count is bounded only by
+    // maxRedispatches. The default (1) preserves the historical
+    // once-per-transfer behavior; raising it re-sends a still-slow
+    // transfer again; 0 disables the path entirely.
+    auto run = [&](std::size_t cap) {
+        serve::ServiceConfig cfg;
+        cfg.maxConcurrent = 6;
+        cfg.stragglerFactor = 0.01;
+        cfg.maxRedispatches = cap;
+        serve::Service service(experiments::workerCluster(4), cfg,
+                               experiments::quietSimConfig(),
+                               nullptr, 55);
+        for (std::size_t i = 0; i < 6; ++i)
+            service.submit(wanQuery(i, 4));
+        return service.drain();
+    };
+    const auto off = run(0);
+    const auto once = run(1);
+    const auto twice = run(2);
+    EXPECT_EQ(off.redispatches, 0u);
+    EXPECT_GT(once.redispatches, 0u);
+    // Per-transfer cap of 2: some transfer that straggled after its
+    // first re-dispatch is re-sent a second time.
+    EXPECT_GT(twice.redispatches, once.redispatches);
+    EXPECT_EQ(off.completed + off.timedOut, 6u);
+    EXPECT_EQ(twice.completed + twice.timedOut, 6u);
+    // Each arm stays bit-deterministic.
+    EXPECT_EQ(run(2).resultHash, twice.resultHash);
+}
+
 TEST(Service, WeightedPolicyRaisesPriorityPlanningShare)
 {
     const auto wanify = tinyWanify();
@@ -551,6 +584,52 @@ TEST(Service, ForecastAdmissionHoldsThroughTheTrough)
     const auto again = run(true);
     EXPECT_EQ(held.resultHash, again.resultHash);
     EXPECT_DOUBLE_EQ(held.queries[0].admitted,
+                     again.queries[0].admitted);
+}
+
+TEST(Service, ForecastAdmissionHoldExpiresIntoCoolOff)
+{
+    // A trough longer than maxAdmissionHold: the forecast still sees
+    // recovery inside the horizon, so a hold begins at arrival, but
+    // it is capped at maxAdmissionHold and the following cool-off
+    // admits the query mid-trough — bounded delay, not starvation.
+    scenario::ScenarioSpec spec;
+    spec.name = "long-trough";
+    scenario::ScenarioEvent ev;
+    ev.kind = scenario::EventKind::Maintenance;
+    ev.start = 0.0;
+    ev.duration = 100.0;
+    ev.magnitude = 0.7;
+    spec.events.push_back(ev);
+    const scenario::ScenarioTimeline timeline(spec, 4, 7);
+
+    auto run = [&] {
+        serve::ServiceConfig cfg;
+        cfg.maxConcurrent = 4;
+        cfg.dynamics = &timeline;
+        cfg.forecast.enabled = true;
+        cfg.forecast.horizon = 120.0;
+        cfg.forecast.step = 5.0;
+        cfg.forecastAdmission = true;
+        cfg.maxAdmissionHold = 20.0;
+        serve::Service service(experiments::workerCluster(4), cfg,
+                               experiments::quietSimConfig(),
+                               nullptr, 29);
+        service.submit(smallQuery(0, 0, 4, 0.0));
+        return service.drain();
+    };
+
+    const auto report = run();
+    ASSERT_EQ(report.completed, 1u);
+    EXPECT_EQ(report.forecastHeldAdmissions, 1u);
+    // Admitted when the hold expires — well before the trough's end
+    // at t = 100 — and not re-held thanks to the cool-off.
+    EXPECT_GE(report.queries[0].admitted, 18.0);
+    EXPECT_LE(report.queries[0].admitted, 60.0);
+
+    const auto again = run();
+    EXPECT_EQ(report.resultHash, again.resultHash);
+    EXPECT_DOUBLE_EQ(report.queries[0].admitted,
                      again.queries[0].admitted);
 }
 
